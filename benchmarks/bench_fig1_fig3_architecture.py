@@ -1,0 +1,158 @@
+"""Figures 1 and 3 — architecture entry points and adapter anatomy.
+
+Figure 1 shows the dashed-line interactions with the framework: SQL
+arrives through the parser/validator, data-processing systems hand in
+operator trees directly, the optimizer core fires rules guided by
+metadata, and optimized expressions flow back out (as plans or SQL).
+We exercise every entry/exit point and time each pipeline stage.
+
+Figure 3 shows the adapter anatomy: model → schema factory → schema →
+tables → rules.  We build an adapter from a JSON model file and verify
+each component boundary.
+"""
+
+import json
+
+from repro import Catalog, MemoryTable, RelBuilder, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+from repro.sql import rel_to_sql
+
+from conftest import make_sales_catalog, shape
+
+SQL = ("SELECT products.name, COUNT(*) AS c FROM s.sales "
+       "JOIN s.products ON sales.productId = products.productId "
+       "WHERE sales.discount IS NOT NULL GROUP BY products.name")
+
+
+class TestFigure1EntryPoints:
+    def test_sql_in_rows_out(self):
+        planner = Planner(FrameworkConfig(make_sales_catalog()))
+        result = planner.execute(SQL)
+        assert result.rows
+
+    def test_operator_tree_in(self):
+        """Data-processing systems skip the parser (Section 3)."""
+        catalog = make_sales_catalog()
+        b = RelBuilder(catalog)
+        rel = (b.scan("s", "products")
+                .filter(b.equals(b.field("category"), b.literal("A")))
+                .build())
+        planner = Planner(FrameworkConfig(catalog))
+        physical = planner.optimize(rel)
+        from repro.runtime.operators import execute_to_list
+        assert execute_to_list(physical)
+
+    def test_optimized_sql_out(self):
+        """Calcite as optimizer-only: SQL goes back out for engines that
+        have their own SQL interface but no optimizer."""
+        planner = Planner(FrameworkConfig(make_sales_catalog()))
+        rel = planner.rel(SQL)
+        regenerated = rel_to_sql(rel, "ansi")
+        assert regenerated.startswith("SELECT")
+        assert "GROUP BY" in regenerated
+
+    def test_pluggable_metadata_reaches_optimizer(self):
+        from repro.core.metadata import MetadataProvider
+
+        class TinySales(MetadataProvider):
+            def row_count(self, rel, mq):
+                from repro.core.rel import TableScan
+                if isinstance(rel, TableScan) and "sales" in rel.table.name:
+                    return 1.0
+                return None
+
+        catalog = make_sales_catalog()
+        planner = Planner(FrameworkConfig(
+            catalog, metadata_providers=[TinySales()]))
+        physical = planner.optimize(planner.rel(SQL))
+        assert physical is not None
+
+    def test_stage_timings_report(self):
+        import time
+        planner = Planner(FrameworkConfig(make_sales_catalog()))
+        t0 = time.perf_counter()
+        ast = planner.parse(SQL)
+        t1 = time.perf_counter()
+        rel = planner.converter.convert(ast)
+        t2 = time.perf_counter()
+        physical = planner.optimize(rel)
+        t3 = time.perf_counter()
+        from repro.runtime.operators import execute_to_list
+        rows = execute_to_list(physical)
+        t4 = time.perf_counter()
+        shape("Figure 1: pipeline stage timings",
+              f"parse:            {(t1 - t0) * 1000:7.2f} ms\n"
+              f"validate+convert: {(t2 - t1) * 1000:7.2f} ms\n"
+              f"optimize:         {(t3 - t2) * 1000:7.2f} ms\n"
+              f"execute:          {(t4 - t3) * 1000:7.2f} ms   "
+              f"({len(rows)} rows)")
+        assert rows
+
+
+class TestFigure3AdapterAnatomy:
+    MODEL = {
+        "version": "1.0",
+        "defaultSchema": "SALES",
+        "schemas": [
+            {"name": "SALES", "type": "custom", "factory": "csv",
+             "operand": {"directory": None}},  # filled per test
+        ],
+    }
+
+    def test_model_to_schema_factory_to_tables(self, tmp_path):
+        """model → schema factory → schema → tables (Figure 3)."""
+        (tmp_path / "orders.csv").write_text(
+            "oid:int,amount:double\n1,10.5\n2,20.0\n")
+        model = json.loads(json.dumps(self.MODEL))
+        model["schemas"][0]["operand"]["directory"] = str(tmp_path)
+        from repro.schema.model import build_catalog
+        catalog = build_catalog(model)
+        schema = catalog.resolve_schema(["SALES"])
+        assert schema is not None
+        table = schema.table("orders")
+        assert table is not None
+        assert table.row_type.field_names == ("oid", "amount")
+        planner = Planner(FrameworkConfig(catalog))
+        result = planner.execute("SELECT amount FROM orders WHERE oid = 2")
+        assert result.rows == [(20.0,)]
+
+    def test_adapter_rules_attach_to_planner(self):
+        """Figure 3's "Rules" box: schema-contributed rules reach the
+        planner (here: the Splunk adapter's pushdown rules)."""
+        from repro.adapters.splunk import SplunkSchema, SplunkStore
+        catalog = Catalog()
+        schema = SplunkSchema("splunk", SplunkStore())
+        catalog.add_schema(schema)
+        schema.add_splunk_table("x", ["rowtime", "v"],
+                                [F.timestamp(False), F.integer(False)],
+                                [{"rowtime": 1, "v": 2}])
+        planner = Planner(FrameworkConfig(catalog))
+        rule_names = {r.description for r in planner.all_rules()}
+        assert any("SplunkFilterRule" in n for n in rule_names)
+
+
+def bench_fig1_parse(benchmark):
+    planner = Planner(FrameworkConfig(make_sales_catalog()))
+    benchmark(planner.parse, SQL)
+
+
+def bench_fig1_validate_convert(benchmark):
+    planner = Planner(FrameworkConfig(make_sales_catalog()))
+    benchmark(planner.rel, SQL)
+
+
+def bench_fig1_optimize(benchmark):
+    planner = Planner(FrameworkConfig(make_sales_catalog()))
+    rel = planner.rel(SQL)
+    benchmark(planner.optimize, rel)
+
+
+def bench_fig3_model_load(benchmark, tmp_path):
+    (tmp_path / "t.csv").write_text("a:int\n1\n2\n")
+    model = json.dumps({"schemas": [
+        {"name": "S", "type": "custom", "factory": "csv",
+         "operand": {"directory": str(tmp_path)}}]})
+    from repro.schema.model import load_model
+    catalog = benchmark(load_model, model)
+    assert catalog.resolve_schema(["S"]).table("t") is not None

@@ -1,0 +1,132 @@
+"""P1 — the metadata cache (Section 6 prose).
+
+"Their implementation includes a cache for metadata results, which
+yields significant performance improvements, e.g., when we need to
+compute multiple types of metadata such as cardinality, average row
+size, and selectivity for a given join, and all these computations rely
+on the cardinality of their inputs."
+
+We plan deep join trees with the cache on and off and report the
+metadata-request count and planning time.  Expected shape: the saving
+is multiplicative and grows with plan depth.
+"""
+
+import time
+
+import pytest
+
+from repro import Catalog, MemoryTable, RelBuilder, Schema
+from repro.core.metadata import RelMetadataQuery
+from repro.core.rel import JoinRelType
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+from conftest import shape
+
+
+def _chain_join(depth: int):
+    """A linear join of `depth` tables t0 ⋈ t1 ⋈ ... on a shared key."""
+    catalog = Catalog()
+    s = Schema("m")
+    catalog.add_schema(s)
+    for i in range(depth):
+        s.add_table(MemoryTable(
+            f"t{i}", [f"k{i}", f"v{i}"],
+            [F.integer(False), F.integer(False)],
+            [(j % 10, j) for j in range(100)]))
+    b = RelBuilder(catalog)
+    b.scan("m", "t0")
+    for i in range(1, depth):
+        b.scan("m", f"t{i}")
+        n_left = b.peek(1).row_type.field_count
+        cond = b.equals(b.field2(0, "k0") if i == 1 else b.field2(0, f"k{i-1}"),
+                        b.field2(1, f"k{i}"))
+        b.join(JoinRelType.INNER, cond)
+    return b.build()
+
+
+def _measure(depth: int, caching: bool):
+    rel = _chain_join(depth)
+    mq = RelMetadataQuery(caching=caching)
+    t0 = time.perf_counter()
+    # the requests a cost-based planner issues for every candidate:
+    for _ in range(5):
+        mq.cumulative_cost(rel)
+        mq.row_count(rel)
+        mq.data_size(rel)
+    elapsed = time.perf_counter() - t0
+    return elapsed, mq.stats_requests, mq.stats_hits
+
+
+def test_metadata_cache_saves_requests_and_grows_with_depth():
+    lines = [f"{'depth':>5} {'cached ms':>10} {'uncached ms':>12} "
+             f"{'speedup':>8} {'requests saved':>15}"]
+    speedups = []
+    for depth in (2, 4, 6, 8):
+        t_cached, req_cached, hits = _measure(depth, caching=True)
+        t_uncached, req_uncached, _ = _measure(depth, caching=False)
+        speedup = t_uncached / max(t_cached, 1e-9)
+        speedups.append(speedup)
+        lines.append(f"{depth:>5} {t_cached * 1000:>10.2f} "
+                     f"{t_uncached * 1000:>12.2f} {speedup:>8.1f} "
+                     f"{req_uncached - req_cached:>15}")
+        assert req_cached < req_uncached
+        assert hits > 0
+    shape("P1: metadata cache on vs off (deep join trees)", "\n".join(lines))
+    # significant improvement, growing with depth
+    assert speedups[-1] > 1.5
+    assert speedups[-1] >= speedups[0] * 0.8  # roughly non-decreasing
+
+
+def test_cache_correctness_same_answers():
+    rel = _chain_join(5)
+    cached = RelMetadataQuery(caching=True)
+    uncached = RelMetadataQuery(caching=False)
+    assert cached.row_count(rel) == uncached.row_count(rel)
+    assert cached.cumulative_cost(rel).value == \
+        uncached.cumulative_cost(rel).value
+
+
+@pytest.mark.parametrize("caching", [True, False],
+                         ids=["cache_on", "cache_off"])
+def bench_metadata_requests(benchmark, caching):
+    rel = _chain_join(6)
+
+    def run():
+        mq = RelMetadataQuery(caching=caching)
+        mq.cumulative_cost(rel)
+        mq.row_count(rel)
+        mq.data_size(rel)
+        return mq
+
+    mq = benchmark(run)
+    assert mq.stats_requests > 0
+
+
+def bench_planning_with_cache(benchmark):
+    from repro.core.rules import standard_logical_rules
+    from repro.core.volcano import VolcanoPlanner
+    from repro.runtime import enumerable_rules
+    rel = _chain_join(4)
+
+    def plan():
+        planner = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules(),
+            mq=RelMetadataQuery(caching=True))
+        return planner.optimize(rel)
+
+    assert benchmark(plan) is not None
+
+
+def bench_planning_without_cache(benchmark):
+    from repro.core.rules import standard_logical_rules
+    from repro.core.volcano import VolcanoPlanner
+    from repro.runtime import enumerable_rules
+    rel = _chain_join(4)
+
+    def plan():
+        planner = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules(),
+            mq=RelMetadataQuery(caching=False))
+        return planner.optimize(rel)
+
+    assert benchmark(plan) is not None

@@ -1,0 +1,141 @@
+"""Table 1 — systems that embed Calcite as a library.
+
+The table is a feature matrix of *integration modes*: whether the
+embedder uses the JDBC driver, the SQL parser/validator, the relational
+algebra, and which engine executes.  We regenerate the matrix by
+driving each mode against this framework and checking it works; the
+benchmark times a representative query in each embedding style.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import Catalog, MemoryTable, RelBuilder, Schema, connect
+from repro.core.rel import JoinRelType
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+
+from conftest import shape
+
+
+@dataclass
+class Embedder:
+    """One row of Table 1."""
+
+    system: str
+    language: str
+    jdbc_driver: bool
+    parser_validator: bool
+    rel_algebra: bool
+    engine: str
+
+
+# The twelve rows of Table 1 (streaming systems use the STREAM dialect).
+EMBEDDERS: List[Embedder] = [
+    Embedder("Apache Drill", "SQL + extensions", True, True, True, "Native"),
+    Embedder("Apache Hive", "SQL + extensions", False, False, True, "Tez/Spark"),
+    Embedder("Apache Solr", "SQL", True, True, True, "Native/Enumerable"),
+    Embedder("Apache Phoenix", "SQL", True, True, True, "HBase"),
+    Embedder("Apache Kylin", "SQL", False, True, True, "Enumerable/HBase"),
+    Embedder("Apache Apex", "Streaming SQL", True, True, True, "Native"),
+    Embedder("Apache Flink", "Streaming SQL", True, True, True, "Native"),
+    Embedder("Apache Samza", "Streaming SQL", True, True, True, "Native"),
+    Embedder("Apache Storm", "Streaming SQL", True, True, True, "Native"),
+    Embedder("MapD", "SQL", False, True, True, "Native"),
+    Embedder("Lingual", "SQL", False, True, False, "Cascading"),
+    Embedder("Qubole Quark", "SQL", True, True, True, "Hive/Presto"),
+]
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    s = Schema("emb")
+    catalog.add_schema(s)
+    s.add_table(MemoryTable(
+        "t", ["k", "v"], [F.integer(False), F.integer(False)],
+        [(i, i * 3) for i in range(500)]))
+    return catalog
+
+
+def _drive_full_stack(catalog) -> int:
+    """Mode A (Drill/Solr/Phoenix...): JDBC driver + parser + algebra +
+    framework execution."""
+    with connect(catalog) as conn:
+        cur = conn.execute("SELECT k, v FROM emb.t WHERE v > ? ORDER BY v DESC",
+                           [600])
+        return cur.rowcount
+
+
+def _drive_own_parser(catalog) -> int:
+    """Mode B (Hive): the embedder has its own parser and builds operator
+    trees directly; Calcite optimizes; the embedder's engine executes
+    the optimized algebra."""
+    b = RelBuilder(catalog)
+    b.scan("emb", "t")
+    rel = b.filter(b.greater_than(b.field("v"), b.literal(600))).build()
+    p = planner_for(catalog)
+    physical = p.optimize(rel)
+    from repro.runtime.operators import execute_to_list
+    return len(execute_to_list(physical))
+
+
+def _drive_sql_generation(catalog) -> str:
+    """Mode C (Lingual/Quark-style): optimize, then hand the plan to an
+    external SQL engine as regenerated SQL text."""
+    from repro.sql import rel_to_sql
+    p = planner_for(catalog)
+    rel = p.rel("SELECT k FROM emb.t WHERE v > 600")
+    return rel_to_sql(rel, "ansi")
+
+
+def test_table1_matrix_regenerates():
+    catalog = _catalog()
+    full = _drive_full_stack(catalog)
+    own_parser = _drive_own_parser(catalog)
+    generated = _drive_sql_generation(catalog)
+    assert full == own_parser == 299
+    assert generated.startswith("SELECT")
+
+    lines = [f"{'System':<16} {'Query language':<18} {'JDBC':<5} "
+             f"{'Parser':<7} {'Algebra':<8} Engine"]
+    for e in EMBEDDERS:
+        lines.append(
+            f"{e.system:<16} {e.language:<18} "
+            f"{'✓' if e.jdbc_driver else '':<5} "
+            f"{'✓' if e.parser_validator else '':<7} "
+            f"{'✓' if e.rel_algebra else '':<8} {e.engine}")
+    shape("Table 1: systems embedding the framework", "\n".join(lines))
+
+
+def test_streaming_embedders_supported():
+    """The four streaming rows of Table 1 rely on the STREAM dialect."""
+    from repro.framework import planner_for as pf
+    from repro.stream import StreamExecutor, StreamTable
+    catalog = Catalog()
+    s = Schema("st")
+    catalog.add_schema(s)
+    t = StreamTable("events", ["rowtime", "v"],
+                    [F.timestamp(False), F.integer(False)])
+    s.add_table(t)
+    ex = StreamExecutor(pf(catalog),
+                        "SELECT STREAM rowtime, v FROM st.events WHERE v > 5")
+    t.push((1000, 10))
+    assert ex.advance(2000) == [(1000, 10)]
+
+
+def bench_mode_full_stack(benchmark):
+    catalog = _catalog()
+    result = benchmark(_drive_full_stack, catalog)
+    assert result == 299
+
+
+def bench_mode_own_parser_algebra_only(benchmark):
+    catalog = _catalog()
+    result = benchmark(_drive_own_parser, catalog)
+    assert result == 299
+
+
+def bench_mode_sql_generation(benchmark):
+    catalog = _catalog()
+    result = benchmark(_drive_sql_generation, catalog)
+    assert "WHERE" in result

@@ -1,0 +1,70 @@
+"""Shared workload builders for the benchmark harness.
+
+Every table and figure of the paper has a bench module here (see
+DESIGN.md §4 for the experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated tables/figures on stdout.
+"""
+
+import random
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+def make_sales_catalog(n_sales: int = 2000, n_products: int = 50,
+                       seed: int = 42) -> Catalog:
+    """The Figure 4 schema: sales ⋈ products with a discount column."""
+    rng = random.Random(seed)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    products = [(pid, f"prod{pid}", rng.choice(["A", "B", "C"]))
+                for pid in range(n_products)]
+    sales = []
+    for i in range(n_sales):
+        discount = rng.choice([None] * 9 + [5])  # ~10% non-null
+        sales.append((i, rng.randrange(n_products), discount,
+                      rng.randrange(1, 20)))
+    s.add_table(MemoryTable(
+        "products", ["productId", "name", "category"],
+        [F.integer(False), F.varchar(), F.varchar()], products))
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "discount", "units"],
+        [F.integer(False), F.integer(False), F.integer(), F.integer(False)],
+        sales))
+    return catalog
+
+
+def make_star_catalog(n_rows: int = 5000, seed: int = 7) -> Catalog:
+    """An OLAP star for the materialized-view / lattice benches."""
+    rng = random.Random(seed)
+    catalog = Catalog()
+    s = Schema("star")
+    catalog.add_schema(s)
+    rows = [(i, rng.randrange(100), rng.randrange(20), rng.randrange(5),
+             rng.randrange(1, 50)) for i in range(n_rows)]
+    s.add_table(MemoryTable(
+        "facts", ["id", "product", "customer", "region", "amount"],
+        [F.integer(False)] * 5, rows))
+    return catalog
+
+
+@pytest.fixture
+def sales_catalog():
+    return make_sales_catalog()
+
+
+@pytest.fixture
+def star_catalog():
+    return make_star_catalog()
+
+
+def shape(label: str, text: str) -> None:
+    """Print a regenerated artifact with a banner (visible with -s)."""
+    print(f"\n===== {label} =====")
+    print(text)

@@ -1,0 +1,72 @@
+"""Quickstart: SQL over in-memory tables through the full stack.
+
+Parse → validate → optimize (Volcano, cost-based) → execute over the
+enumerable engine, driven through the Avatica-style DB-API driver.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Catalog, MemoryTable, Schema, connect
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+
+
+def build_catalog() -> Catalog:
+    catalog = Catalog()
+    hr = Schema("hr")
+    catalog.add_schema(hr)
+    hr.add_table(MemoryTable(
+        "emps", ["empid", "deptno", "name", "sal"],
+        [F.integer(False), F.integer(False), F.varchar(), F.integer()],
+        [(100, 10, "Bill", 10000),
+         (110, 10, "Theodore", 11500),
+         (150, 10, "Sebastian", 7000),
+         (200, 20, "Eric", 8000),
+         (210, 30, "Victor", 6500)]))
+    hr.add_table(MemoryTable(
+        "depts", ["deptno", "dname"],
+        [F.integer(False), F.varchar()],
+        [(10, "Sales"), (20, "Marketing"), (30, "HR")]))
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+
+    # 1. The DB-API driver: the one-liner way in.
+    print("== driver ==")
+    with connect(catalog) as conn:
+        cur = conn.execute(
+            "SELECT d.dname, COUNT(*) AS headcount, SUM(e.sal) AS payroll "
+            "FROM hr.emps e JOIN hr.depts d ON e.deptno = d.deptno "
+            "GROUP BY d.dname ORDER BY payroll DESC")
+        print([d[0] for d in cur.description])
+        for row in cur:
+            print(row)
+
+    # 2. The planner API: inspect each stage of Figure 1's pipeline.
+    print("\n== pipeline ==")
+    planner = planner_for(catalog)
+    sql = "SELECT name FROM hr.emps WHERE deptno = 10 AND sal > 8000"
+    ast = planner.parse(sql)
+    print("AST:       ", ast)
+    logical = planner.rel(sql)
+    print("Logical plan:")
+    print(logical.explain())
+    physical = planner.optimize(logical)
+    print("Physical plan (cost-based, enumerable convention):")
+    print(physical.explain())
+    result = planner.execute(sql)
+    print("Rows:", result.rows)
+
+    # 3. Prepared-statement parameters.
+    print("\n== parameters ==")
+    with connect(catalog) as conn:
+        for threshold in (7000, 10000):
+            cur = conn.execute(
+                "SELECT name FROM hr.emps WHERE sal > ?", [threshold])
+            print(threshold, "->", cur.fetchall())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Streaming SQL (Section 7.2): the paper's four query shapes, live.
+
+1. continuous filter         — SELECT STREAM ... WHERE
+2. sliding-window analytics  — SUM(...) OVER (RANGE INTERVAL '1' HOUR)
+3. tumbling-window aggregate — GROUP BY TUMBLE(rowtime, ...)
+4. stream-to-stream join     — ON ... AND s.rowtime BETWEEN ...
+
+Run:  python examples/streaming_analytics.py
+"""
+
+import random
+
+from repro import Catalog, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+from repro.stream import StreamExecutor, StreamTable
+
+HOUR = 3_600_000
+MIN = 60_000
+
+
+def main() -> None:
+    rng = random.Random(7)
+    catalog = Catalog()
+    schema = Schema("streams")
+    catalog.add_schema(schema)
+    orders = StreamTable(
+        "orders", ["rowtime", "productId", "units"],
+        [F.timestamp(False), F.integer(False), F.integer(False)])
+    shipments = StreamTable(
+        "shipments", ["rowtime", "orderId"],
+        [F.timestamp(False), F.integer(False)])
+    orders_k = StreamTable(
+        "keyed_orders", ["rowtime", "orderId", "productId"],
+        [F.timestamp(False), F.integer(False), F.integer(False)])
+    for t in (orders, shipments, orders_k):
+        schema.add_table(t)
+    planner = planner_for(catalog)
+
+    # 1. Continuous filter (the paper's first STREAM example).
+    big_orders = StreamExecutor(planner, """
+        SELECT STREAM rowtime, productId, units
+        FROM streams.orders WHERE units > 25""")
+
+    # 3. Tumbling-window aggregate with TUMBLE_END.
+    hourly = StreamExecutor(planner, """
+        SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS rowtime,
+               productId, COUNT(*) AS c, SUM(units) AS units
+        FROM streams.orders
+        GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR), productId""")
+
+    # Feed three hours of synthetic traffic, advancing hourly.
+    print("== continuous filter + hourly tumbling aggregate ==")
+    for hour in range(3):
+        for _ in range(20):
+            ts = hour * HOUR + rng.randrange(HOUR)
+            orders.push((ts, rng.randrange(1, 4), rng.randrange(1, 50)))
+        watermark = (hour + 1) * HOUR
+        fresh_filter = big_orders.advance(watermark)
+        fresh_windows = hourly.advance(watermark)
+        print(f"t={watermark // HOUR}h: filter emitted {len(fresh_filter)} events; "
+              f"closed windows: {sorted(fresh_windows)}")
+
+    # 2. Sliding window via OVER ... RANGE.
+    print("\n== sliding one-hour SUM per product ==")
+    sliding = StreamExecutor(planner, """
+        SELECT STREAM rowtime, productId, units,
+               SUM(units) OVER (PARTITION BY productId ORDER BY rowtime
+                   RANGE INTERVAL '1' HOUR PRECEDING) AS unitsLastHour
+        FROM streams.orders""")
+    rows = sliding.advance(4 * HOUR)
+    print(f"{len(rows)} enriched events; sample: {rows[:3]}")
+
+    # 4. Stream-to-stream join with an implicit time window.
+    print("\n== orders ⋈ shipments within one hour ==")
+    joined = StreamExecutor(planner, """
+        SELECT STREAM o.rowtime, o.orderId, s.rowtime AS shipTime
+        FROM streams.keyed_orders AS o
+        JOIN streams.shipments AS s ON o.orderId = s.orderId
+        AND s.rowtime BETWEEN o.rowtime AND o.rowtime + INTERVAL '1' HOUR""")
+    for oid in range(5):
+        placed = oid * 10 * MIN
+        orders_k.push((placed, oid, 1))
+        delay = rng.choice([5 * MIN, 30 * MIN, 2 * HOUR])  # some miss the window
+        shipments.push((placed + delay, oid))
+    matches = joined.advance(6 * HOUR)
+    print(f"matched within the window: {matches}")
+
+
+if __name__ == "__main__":
+    main()

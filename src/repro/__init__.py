@@ -1,0 +1,51 @@
+"""repro — a Python reproduction of Apache Calcite (SIGMOD 2018).
+
+A foundational framework for optimized query processing over
+heterogeneous data sources: a SQL parser/validator, a relational
+algebra with physical traits (including calling conventions), a
+cost-based Volcano planner and an exhaustive Hep planner, pluggable
+metadata providers with caching, adapters over simulated backends
+(JDBC/MySQL, Splunk, MongoDB, Cassandra, Elasticsearch, Druid, Spark,
+Pig), materialized-view rewriting with lattices, and streaming /
+geospatial / semi-structured SQL extensions.
+
+Quick start::
+
+    from repro import connect, Catalog, Schema, MemoryTable
+    from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+    catalog = Catalog()
+    hr = Schema("hr")
+    catalog.add_schema(hr)
+    hr.add_table(MemoryTable("emps", ["name", "sal"],
+                             [F.varchar(), F.integer()],
+                             [("Ann", 100), ("Bob", 200)]))
+    with connect(catalog) as conn:
+        for row in conn.execute("SELECT name FROM hr.emps WHERE sal > 150"):
+            print(row)
+"""
+
+from .avatica import Connection, Cursor, connect
+from .core.builder import RelBuilder
+from .framework import FrameworkConfig, Planner, Result, planner_for
+from .schema.core import Catalog, MemoryTable, Schema, Statistic, Table, ViewTable
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Catalog",
+    "Connection",
+    "Cursor",
+    "FrameworkConfig",
+    "MemoryTable",
+    "Planner",
+    "RelBuilder",
+    "Result",
+    "Schema",
+    "Statistic",
+    "Table",
+    "ViewTable",
+    "connect",
+    "planner_for",
+    "__version__",
+]

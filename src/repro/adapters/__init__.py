@@ -1,0 +1,1 @@
+"""Adapters over (simulated) heterogeneous backends (Section 5, Table 2)."""

@@ -1,0 +1,14 @@
+"""Cassandra adapter + its simulated wide-column store."""
+
+from .adapter import (
+    CASSANDRA,
+    CassandraQuery,
+    CassandraSchema,
+    CassandraTable,
+    cassandra_rules,
+)
+from .store import CassandraError, CassandraStore, CassandraTableDef
+
+__all__ = ["CASSANDRA", "CassandraError", "CassandraQuery", "CassandraSchema",
+           "CassandraStore", "CassandraTable", "CassandraTableDef",
+           "cassandra_rules"]

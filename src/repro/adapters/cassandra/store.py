@@ -1,0 +1,106 @@
+"""A Cassandra-like wide-column store (simulated backend).
+
+"A wide column store which partitions data by a subset of columns in a
+table and then within each partition, sorts rows based on another
+subset of columns."  Queries must restrict the partition key; rows come
+back in clustering order within the partition — the property the
+CassandraSort pushdown rule (Section 6) exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class CassandraError(Exception):
+    pass
+
+
+class CassandraTableDef:
+    def __init__(self, name: str, columns: Sequence[str],
+                 partition_keys: Sequence[str],
+                 clustering_keys: Sequence[str]) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.partition_keys = list(partition_keys)
+        self.clustering_keys = list(clustering_keys)
+        #: partition key tuple → rows sorted by clustering keys
+        self.partitions: Dict[tuple, List[tuple]] = {}
+
+    def insert(self, row: Sequence[Any]) -> None:
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise CassandraError("row width mismatch")
+        key = tuple(row[self.columns.index(k)] for k in self.partition_keys)
+        partition = self.partitions.setdefault(key, [])
+        partition.append(row)
+        cluster_idx = [self.columns.index(k) for k in self.clustering_keys]
+        partition.sort(key=lambda r: tuple(r[i] for i in cluster_idx))
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(p) for p in self.partitions.values())
+
+
+class CassandraStore:
+    def __init__(self, name: str = "cassandra") -> None:
+        self.name = name
+        self.tables: Dict[str, CassandraTableDef] = {}
+        self.cql_calls = 0
+        self.rows_read = 0
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     partition_keys: Sequence[str],
+                     clustering_keys: Sequence[str]) -> CassandraTableDef:
+        table = CassandraTableDef(name, columns, partition_keys, clustering_keys)
+        self.tables[name.upper()] = table
+        return table
+
+    def table(self, name: str) -> CassandraTableDef:
+        try:
+            return self.tables[name.upper()]
+        except KeyError:
+            raise CassandraError(f"no such table: {name}")
+
+    def query(self, name: str,
+              partition_filter: Optional[Dict[str, Any]] = None,
+              clustering_ranges: Optional[List[Tuple[str, str, Any]]] = None,
+              limit: Optional[int] = None) -> List[tuple]:
+        """Run a query; without a partition filter this is a (costly)
+        full cluster scan, which real Cassandra only allows with
+        ALLOW FILTERING."""
+        self.cql_calls += 1
+        table = self.table(name)
+        if partition_filter is not None:
+            missing = [k for k in table.partition_keys if k not in partition_filter]
+            if missing:
+                raise CassandraError(
+                    f"partition key(s) {missing} must be fully restricted")
+            key = tuple(partition_filter[k] for k in table.partition_keys)
+            rows = list(table.partitions.get(key, []))
+        else:
+            rows = [r for p in table.partitions.values() for r in p]
+        self.rows_read += len(rows)
+        if clustering_ranges:
+            for column, op, value in clustering_ranges:
+                idx = table.columns.index(column)
+                rows = [r for r in rows if _test(r[idx], op, value)]
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+
+def _test(actual: Any, op: str, expected: Any) -> bool:
+    if actual is None:
+        return False
+    if op == "=":
+        return actual == expected
+    if op == "<":
+        return actual < expected
+    if op == "<=":
+        return actual <= expected
+    if op == ">":
+        return actual > expected
+    if op == ">=":
+        return actual >= expected
+    raise CassandraError(f"bad operator {op}")

@@ -1,0 +1,127 @@
+"""The CSV adapter — Calcite's canonical tutorial adapter (Figure 3).
+
+A directory of ``.csv`` files becomes a schema; each file becomes a
+table.  Column types come from an optional header convention
+(``name:type``) or from value sniffing on the first data row.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType, SqlTypeName
+from ..schema.core import Schema, Statistic, Table
+
+_F = DEFAULT_TYPE_FACTORY
+
+_TYPE_NAMES = {
+    "int": _F.integer(),
+    "integer": _F.integer(),
+    "bigint": _F.bigint(),
+    "double": _F.double(),
+    "float": _F.double(),
+    "varchar": _F.varchar(),
+    "string": _F.varchar(),
+    "boolean": _F.boolean(),
+    "timestamp": _F.timestamp(),
+}
+
+
+class CsvTable(Table):
+    """One CSV file, parsed lazily on each scan."""
+
+    def __init__(self, name: str, path: str) -> None:
+        self.path = path
+        field_names, field_types, row_count = _sniff(path)
+        self._field_types = field_types
+        row_type = _F.struct(field_names, field_types)
+        super().__init__(name, row_type, Statistic(row_count=float(row_count)))
+
+    def scan(self) -> Iterable[tuple]:
+        with open(self.path, newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader, None)  # header
+            for raw in reader:
+                yield tuple(
+                    _convert(value, typ)
+                    for value, typ in zip(raw, self._field_types))
+
+
+class CsvSchema(Schema):
+    """Schema factory over a directory of CSV files (Figure 3)."""
+
+    def __init__(self, name: str, directory: str) -> None:
+        super().__init__(name)
+        self.directory = directory
+        for filename in sorted(os.listdir(directory)):
+            if filename.lower().endswith(".csv"):
+                table_name = os.path.splitext(filename)[0]
+                self.add_table(CsvTable(table_name,
+                                        os.path.join(directory, filename)))
+
+
+def _sniff(path: str) -> Tuple[List[str], List[RelDataType], int]:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, [])
+        names: List[str] = []
+        types: List[Optional[RelDataType]] = []
+        for col in header:
+            if ":" in col:
+                name, type_name = col.split(":", 1)
+                names.append(name.strip())
+                types.append(_TYPE_NAMES.get(type_name.strip().lower(), _F.varchar()))
+            else:
+                names.append(col.strip())
+                types.append(None)
+        first_row: Optional[List[str]] = None
+        count = 0
+        for row in reader:
+            if first_row is None:
+                first_row = row
+            count += 1
+    resolved: List[RelDataType] = []
+    for i, typ in enumerate(types):
+        if typ is not None:
+            resolved.append(typ)
+        elif first_row is not None and i < len(first_row):
+            resolved.append(_guess_type(first_row[i]))
+        else:
+            resolved.append(_F.varchar())
+    return names, resolved, count
+
+
+def _guess_type(value: str) -> RelDataType:
+    try:
+        int(value)
+        return _F.integer()
+    except ValueError:
+        pass
+    try:
+        float(value)
+        return _F.double()
+    except ValueError:
+        pass
+    if value.strip().lower() in ("true", "false"):
+        return _F.boolean()
+    return _F.varchar()
+
+
+def _convert(value: str, typ: RelDataType) -> Any:
+    if value == "":
+        return None
+    name = typ.type_name
+    if name in (SqlTypeName.INTEGER, SqlTypeName.BIGINT):
+        return int(value)
+    if name in (SqlTypeName.DOUBLE, SqlTypeName.FLOAT):
+        return float(value)
+    if name is SqlTypeName.BOOLEAN:
+        return value.strip().lower() == "true"
+    if name is SqlTypeName.TIMESTAMP:
+        try:
+            return int(value)
+        except ValueError:
+            return value
+    return value

@@ -1,0 +1,272 @@
+"""The Druid adapter (Table 2: queried through REST, JSON).
+
+Pushes filters and grouped aggregations down as Druid JSON queries
+(``select``/``groupBy``), turning a scan-filter-aggregate pipeline into
+a single REST call answered from Druid's column store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...core.cost import RelOptCost
+from ...core.rel import Aggregate, Filter, LogicalTableScan, RelNode
+from ...core.rex import (
+    COMPARISON_KINDS,
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    SqlKind,
+    decompose_conjunction,
+)
+from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
+from ...core.traits import Convention, RelTraitSet
+from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from ...schema.core import Schema, Statistic, Table
+from .store import DruidDatasource, DruidStore, render_query
+
+_F = DEFAULT_TYPE_FACTORY
+
+DRUID = Convention("druid")
+
+
+class DruidTable(Table):
+    def __init__(self, store: DruidStore, datasource: DruidDatasource,
+                 field_types) -> None:
+        columns = ["__time"] + datasource.dimensions + datasource.metrics
+        row_type = _F.struct(columns, field_types)
+        super().__init__(datasource.name, row_type,
+                         Statistic(row_count=float(datasource.row_count)))
+        self.store = store
+        self.datasource = datasource
+
+    def scan(self):
+        names = self.row_type.field_names
+        for events in self.datasource.segments.values():
+            for e in events:
+                self.store.rows_scanned += 1
+                yield tuple(e.get(n) for n in names)
+
+
+class DruidSchema(Schema):
+    def __init__(self, name: str, store: DruidStore) -> None:
+        super().__init__(name)
+        self.store = store
+        self.convention = DRUID
+        for rule in druid_rules(self):
+            self.add_rule(rule)
+
+    def add_datasource(self, name: str, dimensions, metrics, field_types,
+                       events: Optional[List[dict]] = None) -> DruidTable:
+        ds = self.store.create_datasource(name, dimensions, metrics, events)
+        table = DruidTable(self.store, ds, field_types)
+        self.add_table(table)
+        return table
+
+
+class DruidQuery(RelNode):
+    """A leaf standing for one Druid JSON query."""
+
+    def __init__(self, table: DruidTable, filter_spec: Optional[dict] = None,
+                 group_dims: Optional[List[str]] = None,
+                 aggregations: Optional[List[dict]] = None,
+                 row_type: Optional[RelDataType] = None,
+                 traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__([], traits or RelTraitSet(DRUID))
+        self.druid_table = table
+        self.filter_spec = filter_spec
+        self.group_dims = group_dims
+        self.aggregations = aggregations
+        self._row_type_override = row_type
+
+    def derive_row_type(self) -> RelDataType:
+        if self._row_type_override is not None:
+            return self._row_type_override
+        return self.druid_table.row_type
+
+    def attr_digest(self) -> str:
+        return self.request()
+
+    def copy(self, inputs=None, traits=None) -> "DruidQuery":
+        return DruidQuery(self.druid_table, self.filter_spec, self.group_dims,
+                          self.aggregations, self._row_type_override,
+                          traits or self.traits)
+
+    def body(self) -> dict:
+        body: Dict[str, Any] = {"dataSource": self.druid_table.datasource.name}
+        if self.group_dims is not None:
+            body["queryType"] = "groupBy"
+            body["dimensions"] = list(self.group_dims)
+            body["aggregations"] = list(self.aggregations or [])
+        else:
+            body["queryType"] = "select"
+        if self.filter_spec is not None:
+            body["filter"] = self.filter_spec
+        return body
+
+    def request(self) -> str:
+        return render_query(self.body())
+
+    def execute_rows(self, ctx):
+        events = self.druid_table.store.query(self.body())
+        names = self.row_type.field_names
+        if self.group_dims is not None:
+            agg_names = [a["name"] for a in (self.aggregations or [])]
+            return [
+                tuple(e.get(d) for d in self.group_dims)
+                + tuple(e.get(a) for a in agg_names)
+                for e in events
+            ]
+        return [tuple(e.get(n) for n in names) for e in events]
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = self.estimate_row_count(mq)
+        # Druid answers from a column store: aggregations are cheap.
+        return RelOptCost(rows, rows * 0.1, rows * 8.0)
+
+    def estimate_row_count(self, mq) -> float:
+        base = self.druid_table.statistic.row_count
+        if self.filter_spec is not None:
+            base *= 0.25
+        if self.group_dims is not None:
+            base = max(base * 0.05, 1.0)
+        return max(base, 1.0)
+
+    def explain_terms(self):
+        return [("query", self.request())]
+
+
+class DruidTableScanRule(ConverterRule):
+    def __init__(self, schema: DruidSchema) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, DRUID,
+                         f"DruidTableScanRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if not isinstance(source, DruidTable) or source.store is not self.schema.store:
+            return None
+        return DruidQuery(source)
+
+
+def translate_filter_spec(condition: RexNode, field_names) -> Optional[dict]:
+    fields: List[dict] = []
+    for conjunct in decompose_conjunction(condition):
+        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
+            return None
+        a, b = conjunct.operands
+        kind = conjunct.kind
+        if isinstance(a, RexLiteral):
+            a, b = b, a
+            kind = kind.reverse()
+        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
+            return None
+        dim = field_names[a.index]
+        value = b.value
+        if kind is SqlKind.EQUALS:
+            fields.append({"type": "selector", "dimension": dim, "value": value})
+        elif kind is SqlKind.GREATER_THAN:
+            fields.append({"type": "bound", "dimension": dim,
+                           "lower": value, "lowerStrict": True})
+        elif kind is SqlKind.GREATER_THAN_OR_EQUAL:
+            fields.append({"type": "bound", "dimension": dim, "lower": value})
+        elif kind is SqlKind.LESS_THAN:
+            fields.append({"type": "bound", "dimension": dim,
+                           "upper": value, "upperStrict": True})
+        elif kind is SqlKind.LESS_THAN_OR_EQUAL:
+            fields.append({"type": "bound", "dimension": dim, "upper": value})
+        else:
+            return None
+    if not fields:
+        return None
+    if len(fields) == 1:
+        return fields[0]
+    return {"type": "and", "fields": fields}
+
+
+class DruidFilterRule(RelOptRule):
+    def __init__(self, schema: DruidSchema) -> None:
+        super().__init__(operand(Filter, any_operand(DruidQuery)),
+                         f"DruidFilterRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        if query.druid_table.store is not self.schema.store:
+            return False
+        if query.filter_spec is not None or query.group_dims is not None:
+            return False
+        return translate_filter_spec(
+            call.rel(0).condition, query.row_type.field_names) is not None
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        filter_, query = call.rel(0), call.rel(1)
+        spec = translate_filter_spec(
+            filter_.condition, query.row_type.field_names)
+        assert spec is not None
+        call.transform_to(DruidQuery(query.druid_table, spec))
+
+
+_AGG_TYPES = {"COUNT": "count", "SUM": "longSum", "MIN": "longMin", "MAX": "longMax"}
+
+
+class DruidAggregateRule(RelOptRule):
+    """Push GROUP BY dimensions + COUNT/SUM/MIN/MAX into a groupBy query."""
+
+    def __init__(self, schema: DruidSchema) -> None:
+        super().__init__(operand(Aggregate, any_operand(DruidQuery)),
+                         f"DruidAggregateRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        agg, query = call.rel(0), call.rel(1)
+        if query.druid_table.store is not self.schema.store:
+            return False
+        if query.group_dims is not None:
+            return False
+        names = query.row_type.field_names
+        dims = set(query.druid_table.datasource.dimensions)
+        if not all(names[g] in dims for g in agg.group_set):
+            return False
+        for c in agg.agg_calls:
+            if c.op.name not in _AGG_TYPES or c.distinct or c.filter_arg is not None:
+                return False
+            if c.op.name != "COUNT" and len(c.args) != 1:
+                return False
+        return True
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        agg, query = call.rel(0), call.rel(1)
+        names = query.row_type.field_names
+        dims = [names[g] for g in agg.group_set]
+        aggregations = []
+        for c in agg.agg_calls:
+            spec = {"type": _AGG_TYPES[c.op.name], "name": c.name}
+            if c.args:
+                spec["fieldName"] = names[c.args[0]]
+            aggregations.append(spec)
+        call.transform_to(DruidQuery(
+            query.druid_table, query.filter_spec, dims, aggregations,
+            row_type=agg.row_type))
+
+
+class DruidToEnumerableConverterRule(ConverterRule):
+    def __init__(self, schema: DruidSchema) -> None:
+        super().__init__(DruidQuery, DRUID, Convention.ENUMERABLE,
+                         f"DruidToEnumerableConverterRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        from ...core.rel import Converter
+        return Converter(call.convert_input(rel, RelTraitSet(DRUID)),
+                         RelTraitSet(Convention.ENUMERABLE))
+
+
+def druid_rules(schema: DruidSchema) -> List[RelOptRule]:
+    return [
+        DruidTableScanRule(schema),
+        DruidFilterRule(schema),
+        DruidAggregateRule(schema),
+        DruidToEnumerableConverterRule(schema),
+    ]

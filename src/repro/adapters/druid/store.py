@@ -1,0 +1,166 @@
+"""A Druid-like time-partitioned OLAP store (simulated backend).
+
+Druid ingests timestamped events into time-bucketed segments and
+answers JSON-over-REST queries: ``timeseries`` (time-bucketed
+aggregates), ``groupBy`` (dimensions + aggregates) and ``select``
+(raw rows), each with optional filters and time intervals.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class DruidError(Exception):
+    pass
+
+
+SEGMENT_MILLIS = 86_400_000  # day-sized segments
+
+
+class DruidDatasource:
+    """Events bucketed into day segments by their __time field."""
+
+    def __init__(self, name: str, dimensions: List[str], metrics: List[str]) -> None:
+        self.name = name
+        self.dimensions = list(dimensions)
+        self.metrics = list(metrics)
+        self.segments: Dict[int, List[dict]] = {}
+
+    def insert(self, event: dict) -> None:
+        if "__time" not in event:
+            raise DruidError("events need a __time field (epoch millis)")
+        bucket = (int(event["__time"]) // SEGMENT_MILLIS) * SEGMENT_MILLIS
+        self.segments.setdefault(bucket, []).append(dict(event))
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(s) for s in self.segments.values())
+
+
+class DruidStore:
+    def __init__(self, name: str = "druid") -> None:
+        self.name = name
+        self.datasources: Dict[str, DruidDatasource] = {}
+        self.query_calls = 0
+        self.rows_scanned = 0
+
+    def create_datasource(self, name: str, dimensions: List[str],
+                          metrics: List[str],
+                          events: Optional[Iterable[dict]] = None) -> DruidDatasource:
+        ds = DruidDatasource(name, dimensions, metrics)
+        for e in events or []:
+            ds.insert(e)
+        self.datasources[name.lower()] = ds
+        return ds
+
+    def datasource(self, name: str) -> DruidDatasource:
+        try:
+            return self.datasources[name.lower()]
+        except KeyError:
+            raise DruidError(f"no such datasource: {name}")
+
+    # ------------------------------------------------------------------
+    def query(self, body: dict) -> List[dict]:
+        """Execute a JSON query (Table 2's target language for Druid)."""
+        self.query_calls += 1
+        ds = self.datasource(body["dataSource"])
+        rows = self._scan(ds, body.get("intervals"), body.get("filter"))
+        query_type = body.get("queryType", "select")
+        if query_type == "select":
+            return rows
+        if query_type == "timeseries":
+            granularity = int(body.get("granularity", SEGMENT_MILLIS))
+            groups: "OrderedDict[int, List[dict]]" = OrderedDict()
+            for r in sorted(rows, key=lambda r: r["__time"]):
+                bucket = (int(r["__time"]) // granularity) * granularity
+                groups.setdefault(bucket, []).append(r)
+            return [
+                {"timestamp": bucket, **self._aggregate(members, body)}
+                for bucket, members in groups.items()
+            ]
+        if query_type == "groupBy":
+            dims = body.get("dimensions", [])
+            groups2: "OrderedDict[tuple, List[dict]]" = OrderedDict()
+            for r in rows:
+                key = tuple(r.get(d) for d in dims)
+                groups2.setdefault(key, []).append(r)
+            out = []
+            for key, members in groups2.items():
+                event = dict(zip(dims, key))
+                event.update(self._aggregate(members, body))
+                out.append(event)
+            return out
+        raise DruidError(f"unsupported queryType {query_type}")
+
+    def _scan(self, ds: DruidDatasource, intervals, filter_spec) -> List[dict]:
+        out = []
+        for bucket, events in ds.segments.items():
+            if intervals and not any(
+                    lo <= bucket < hi for lo, hi in intervals):
+                continue  # segment pruning: intervals skip whole segments
+            for e in events:
+                self.rows_scanned += 1
+                if intervals and not any(
+                        lo <= e["__time"] < hi for lo, hi in intervals):
+                    continue
+                if filter_spec and not self._matches(e, filter_spec):
+                    continue
+                out.append(e)
+        return out
+
+    def _matches(self, event: dict, spec: dict) -> bool:
+        kind = spec.get("type")
+        if kind == "selector":
+            return event.get(spec["dimension"]) == spec["value"]
+        if kind == "bound":
+            value = event.get(spec["dimension"])
+            if value is None:
+                return False
+            lower = spec.get("lower")
+            upper = spec.get("upper")
+            if lower is not None:
+                if spec.get("lowerStrict") and not value > lower:
+                    return False
+                if not spec.get("lowerStrict") and not value >= lower:
+                    return False
+            if upper is not None:
+                if spec.get("upperStrict") and not value < upper:
+                    return False
+                if not spec.get("upperStrict") and not value <= upper:
+                    return False
+            return True
+        if kind == "and":
+            return all(self._matches(event, f) for f in spec["fields"])
+        if kind == "or":
+            return any(self._matches(event, f) for f in spec["fields"])
+        if kind == "not":
+            return not self._matches(event, spec["field"])
+        raise DruidError(f"unsupported filter type {kind}")
+
+    @staticmethod
+    def _aggregate(members: List[dict], body: dict) -> dict:
+        out = {}
+        for agg in body.get("aggregations", []):
+            name = agg["name"]
+            kind = agg["type"]
+            field = agg.get("fieldName")
+            values = [m.get(field) for m in members if m.get(field) is not None] \
+                if field else []
+            if kind == "count":
+                out[name] = len(members)
+            elif kind in ("longSum", "doubleSum"):
+                out[name] = sum(values) if values else 0
+            elif kind in ("longMin", "doubleMin"):
+                out[name] = min(values) if values else None
+            elif kind in ("longMax", "doubleMax"):
+                out[name] = max(values) if values else None
+            else:
+                raise DruidError(f"unsupported aggregation {kind}")
+        return out
+
+
+def render_query(body: dict) -> str:
+    return f"POST /druid/v2 {json.dumps(body, sort_keys=True)}"

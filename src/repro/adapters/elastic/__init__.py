@@ -1,0 +1,13 @@
+"""Elasticsearch adapter + its simulated search store."""
+
+from .adapter import (
+    ELASTIC,
+    ElasticQuery,
+    ElasticSchema,
+    ElasticTable,
+    elastic_rules,
+)
+from .store import ElasticError, ElasticStore
+
+__all__ = ["ELASTIC", "ElasticError", "ElasticQuery", "ElasticSchema",
+           "ElasticStore", "ElasticTable", "elastic_rules"]

@@ -1,0 +1,256 @@
+"""The Elasticsearch adapter (Table 2: queried through REST, JSON DSL)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...core.cost import RelOptCost
+from ...core.rel import Filter, LogicalTableScan, Project, RelNode, Sort
+from ...core.rex import (
+    COMPARISON_KINDS,
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    SqlKind,
+    decompose_conjunction,
+)
+from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
+from ...core.traits import Convention, RelTraitSet
+from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from ...schema.core import Schema, Statistic, Table
+from .store import ElasticStore, render_search
+
+_F = DEFAULT_TYPE_FACTORY
+
+ELASTIC = Convention("elasticsearch")
+
+
+class ElasticTable(Table):
+    def __init__(self, store: ElasticStore, index: str, field_names,
+                 field_types) -> None:
+        row_type = _F.struct(field_names, field_types)
+        count = len(store.indexes.get(index.lower(), []))
+        super().__init__(index, row_type, Statistic(row_count=float(count)))
+        self.store = store
+        self.index = index
+
+    def scan(self):
+        names = self.row_type.field_names
+        for doc in self.store.indexes.get(self.index.lower(), []):
+            self.store.docs_scanned += 1
+            yield tuple(doc.get(n) for n in names)
+
+
+class ElasticSchema(Schema):
+    def __init__(self, name: str, store: ElasticStore) -> None:
+        super().__init__(name)
+        self.store = store
+        self.convention = ELASTIC
+        for rule in elastic_rules(self):
+            self.add_rule(rule)
+
+    def add_elastic_table(self, index: str, field_names, field_types,
+                          documents: Optional[List[dict]] = None) -> ElasticTable:
+        if documents is not None:
+            self.store.add_index(index, documents)
+        table = ElasticTable(self.store, index, field_names, field_types)
+        self.add_table(table)
+        return table
+
+
+class ElasticQuery(RelNode):
+    """A leaf standing for one _search REST call."""
+
+    def __init__(self, table: ElasticTable, filters: tuple = (),
+                 source: Optional[List[str]] = None,
+                 size: Optional[int] = None,
+                 traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__([], traits or RelTraitSet(ELASTIC))
+        self.elastic_table = table
+        self.filters = tuple(filters)  # JSON filter clauses
+        self.source = list(source) if source is not None else None
+        self.size = size
+
+    def derive_row_type(self) -> RelDataType:
+        base = self.elastic_table.row_type
+        if self.source is None:
+            return base
+        pairs = [(n, base.field_by_name(n).type) for n in self.source]
+        return _F.struct([p[0] for p in pairs], [p[1] for p in pairs])
+
+    def attr_digest(self) -> str:
+        return self.request()
+
+    def copy(self, inputs=None, traits=None) -> "ElasticQuery":
+        return ElasticQuery(self.elastic_table, self.filters, self.source,
+                            self.size, traits or self.traits)
+
+    def body(self) -> dict:
+        body: Dict[str, Any] = {}
+        if self.filters:
+            body["query"] = {"bool": {"filter": list(self.filters)}}
+        if self.source is not None:
+            body["_source"] = list(self.source)
+        if self.size is not None:
+            body["size"] = self.size
+        return body
+
+    def request(self) -> str:
+        return render_search(self.elastic_table.index, self.body())
+
+    def execute_rows(self, ctx):
+        docs = self.elastic_table.store.search(
+            self.elastic_table.index, self.body())
+        names = self.row_type.field_names
+        return [tuple(d.get(n) for n in names) for d in docs]
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = self.estimate_row_count(mq)
+        return RelOptCost(rows, rows * 0.15, rows * 16.0)
+
+    def estimate_row_count(self, mq) -> float:
+        base = self.elastic_table.statistic.row_count
+        base *= 0.25 ** min(len(self.filters), 3)
+        if self.size is not None:
+            base = min(base, float(self.size))
+        return max(base, 1.0)
+
+    def explain_terms(self):
+        return [("request", self.request())]
+
+
+class ElasticTableScanRule(ConverterRule):
+    def __init__(self, schema: ElasticSchema) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, ELASTIC,
+                         f"ElasticTableScanRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if not isinstance(source, ElasticTable) or source.store is not self.schema.store:
+            return None
+        return ElasticQuery(source)
+
+
+def translate_to_dsl(condition: RexNode, field_names) -> Optional[List[dict]]:
+    """Rex conjuncts → term/range filter clauses; None if inexpressible."""
+    clauses: List[dict] = []
+    range_ops = {
+        SqlKind.GREATER_THAN: "gt",
+        SqlKind.GREATER_THAN_OR_EQUAL: "gte",
+        SqlKind.LESS_THAN: "lt",
+        SqlKind.LESS_THAN_OR_EQUAL: "lte",
+    }
+    for conjunct in decompose_conjunction(condition):
+        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
+            return None
+        a, b = conjunct.operands
+        kind = conjunct.kind
+        if isinstance(a, RexLiteral):
+            a, b = b, a
+            kind = kind.reverse()
+        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
+            return None
+        field = field_names[a.index]
+        if kind is SqlKind.EQUALS:
+            clauses.append({"term": {field: b.value}})
+        elif kind in range_ops:
+            clauses.append({"range": {field: {range_ops[kind]: b.value}}})
+        else:
+            return None
+    return clauses
+
+
+class ElasticFilterRule(RelOptRule):
+    def __init__(self, schema: ElasticSchema) -> None:
+        super().__init__(operand(Filter, any_operand(ElasticQuery)),
+                         f"ElasticFilterRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        if query.elastic_table.store is not self.schema.store:
+            return False
+        if query.source is not None or query.size is not None:
+            return False
+        return translate_to_dsl(
+            call.rel(0).condition, query.row_type.field_names) is not None
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        filter_, query = call.rel(0), call.rel(1)
+        clauses = translate_to_dsl(filter_.condition, query.row_type.field_names)
+        assert clauses is not None
+        call.transform_to(ElasticQuery(
+            query.elastic_table, tuple(query.filters) + tuple(clauses)))
+
+
+class ElasticProjectRule(RelOptRule):
+    """Push a pure-reference projection as a _source field list."""
+
+    def __init__(self, schema: ElasticSchema) -> None:
+        super().__init__(operand(Project, any_operand(ElasticQuery)),
+                         f"ElasticProjectRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        project, query = call.rel(0), call.rel(1)
+        if query.elastic_table.store is not self.schema.store:
+            return False
+        if query.source is not None:
+            return False
+        perm = project.permutation()
+        if perm is None:
+            return False
+        in_names = query.row_type.field_names
+        return all(project.field_names[i] == in_names[perm[i]] for i in perm)
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        project, query = call.rel(0), call.rel(1)
+        perm = project.permutation()
+        assert perm is not None
+        in_names = query.row_type.field_names
+        source = [in_names[perm[i]] for i in range(len(project.projects))]
+        call.transform_to(ElasticQuery(
+            query.elastic_table, query.filters, source, query.size))
+
+
+class ElasticLimitRule(RelOptRule):
+    def __init__(self, schema: ElasticSchema) -> None:
+        super().__init__(operand(Sort, any_operand(ElasticQuery)),
+                         f"ElasticLimitRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        sort, query = call.rel(0), call.rel(1)
+        return (query.elastic_table.store is self.schema.store
+                and not sort.collation.field_collations
+                and sort.offset is None and sort.fetch is not None
+                and query.size is None)
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        sort, query = call.rel(0), call.rel(1)
+        call.transform_to(ElasticQuery(
+            query.elastic_table, query.filters, query.source, sort.fetch))
+
+
+class ElasticToEnumerableConverterRule(ConverterRule):
+    def __init__(self, schema: ElasticSchema) -> None:
+        super().__init__(ElasticQuery, ELASTIC, Convention.ENUMERABLE,
+                         f"ElasticToEnumerableConverterRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        from ...core.rel import Converter
+        return Converter(call.convert_input(rel, RelTraitSet(ELASTIC)),
+                         RelTraitSet(Convention.ENUMERABLE))
+
+
+def elastic_rules(schema: ElasticSchema) -> List[RelOptRule]:
+    return [
+        ElasticTableScanRule(schema),
+        ElasticFilterRule(schema),
+        ElasticProjectRule(schema),
+        ElasticLimitRule(schema),
+        ElasticToEnumerableConverterRule(schema),
+    ]

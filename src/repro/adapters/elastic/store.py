@@ -1,0 +1,94 @@
+"""An Elasticsearch-like search store (simulated backend).
+
+Documents live in indexes; queries arrive as the JSON query DSL the
+real Elasticsearch adapter generates::
+
+    {"query": {"bool": {"filter": [
+        {"term": {"category": "tools"}},
+        {"range": {"price": {"gt": 10}}}
+    ]}}, "_source": ["name", "price"], "size": 10}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class ElasticError(Exception):
+    pass
+
+
+class ElasticStore:
+    def __init__(self, name: str = "elastic") -> None:
+        self.name = name
+        self.indexes: Dict[str, List[dict]] = {}
+        self.search_calls = 0
+        self.docs_scanned = 0
+
+    def add_index(self, name: str, documents: Optional[Iterable[dict]] = None) -> None:
+        self.indexes[name.lower()] = [dict(d) for d in (documents or [])]
+
+    def search(self, index: str, body: Optional[dict] = None) -> List[dict]:
+        """Execute a query-DSL search against an index."""
+        self.search_calls += 1
+        docs = self.indexes.get(index.lower())
+        if docs is None:
+            raise ElasticError(f"no such index: {index}")
+        body = body or {}
+        query = body.get("query")
+        out = []
+        for doc in docs:
+            self.docs_scanned += 1
+            if query is None or self._matches(doc, query):
+                out.append(doc)
+        source = body.get("_source")
+        if source:
+            out = [{k: d.get(k) for k in source} for d in out]
+        size = body.get("size")
+        if size is not None:
+            out = out[:size]
+        return out
+
+    def _matches(self, doc: dict, query: dict) -> bool:
+        if "bool" in query:
+            clauses = query["bool"]
+            for f in clauses.get("filter", []):
+                if not self._matches(doc, f):
+                    return False
+            must_not = clauses.get("must_not", [])
+            if any(self._matches(doc, f) for f in must_not):
+                return False
+            should = clauses.get("should")
+            if should and not any(self._matches(doc, f) for f in should):
+                return False
+            return True
+        if "term" in query:
+            ((field, value),) = query["term"].items()
+            return doc.get(field) == value
+        if "range" in query:
+            ((field, spec),) = query["range"].items()
+            value = doc.get(field)
+            if value is None:
+                return False
+            for op, bound in spec.items():
+                try:
+                    if op == "gt" and not value > bound:
+                        return False
+                    if op == "gte" and not value >= bound:
+                        return False
+                    if op == "lt" and not value < bound:
+                        return False
+                    if op == "lte" and not value <= bound:
+                        return False
+                except TypeError:
+                    return False
+            return True
+        if "match_all" in query:
+            return True
+        raise ElasticError(f"unsupported query clause {list(query)}")
+
+
+def render_search(index: str, body: dict) -> str:
+    """The query as an HTTP request line + JSON body (Table 2: JSON)."""
+    return f"POST /{index}/_search {json.dumps(body, sort_keys=True)}"

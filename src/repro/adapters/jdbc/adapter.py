@@ -1,0 +1,302 @@
+"""The JDBC adapter (Section 5, Table 2: "SQL (multiple dialects)").
+
+Operators pushed into the ``jdbc-<name>`` calling convention accumulate
+inside a single :class:`JdbcQuery` leaf.  At execution time the
+adapter's converter renders the accumulated operator tree as SQL text
+in the backend's dialect (MySQL, PostgreSQL, …) and ships it to the
+backend database — here the in-process :class:`~..jdbc.minidb.MiniDb`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...core.cost import RelOptCost
+from ...core.rel import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+    Project,
+    RelNode,
+    RelOptTable,
+    Sort,
+    TableScan,
+)
+from ...core.rex import RexNode, RexOver, RexSubQuery, RexVisitor, contains_over
+from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
+from ...core.traits import Convention, RelTraitSet
+from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType, SqlTypeName
+from ...schema.core import Schema, Statistic, Table
+from ...sql.dialect import SqlDialect, dialect_for
+from ...sql.unparser import RelToSqlConverter
+from .minidb import MiniDb
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+class JdbcTable(Table):
+    """A table living in the remote SQL database."""
+
+    def __init__(self, db: MiniDb, name: str, row_type: RelDataType,
+                 statistic: Optional[Statistic] = None) -> None:
+        super().__init__(name, row_type, statistic)
+        self.db = db
+
+    def scan(self):
+        """Fallback full scan (enumerable convention)."""
+        table = self.db.table(self.name)
+        for row in table.rows:
+            self.db.rows_read += 1
+            yield tuple(row)
+
+
+class JdbcSchema(Schema):
+    """Schema factory for a JDBC source (Figure 3's schema factory)."""
+
+    def __init__(self, name: str, db: MiniDb, dialect: str = "mysql") -> None:
+        super().__init__(name)
+        self.db = db
+        self.dialect = dialect_for(dialect)
+        self.convention = Convention(f"jdbc-{name.lower()}")
+        for rule in jdbc_rules(self):
+            self.add_rule(rule)
+
+    def add_jdbc_table(self, name: str, field_names: Sequence[str],
+                       field_types: Sequence[RelDataType],
+                       rows: Optional[List[tuple]] = None,
+                       statistic: Optional[Statistic] = None) -> JdbcTable:
+        """Create the table in the backend DB and expose it to Calcite."""
+        self.db.create_table(name, field_names, rows or [])
+        row_type = _F.struct(field_names, field_types)
+        if statistic is None:
+            statistic = Statistic(row_count=float(len(rows or [])))
+        table = JdbcTable(self.db, name, row_type, statistic)
+        self.add_table(table)
+        return table
+
+
+class JdbcQuery(RelNode):
+    """A leaf operator standing for a query shipped to the backend.
+
+    ``inner`` is a logical operator tree over the backend's tables; it
+    grows as push rules absorb filters, projects, sorts, aggregates and
+    same-source joins.  ``sql()`` renders it in the backend dialect.
+    """
+
+    def __init__(self, schema: JdbcSchema, inner: RelNode,
+                 traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__([], traits or RelTraitSet(schema.convention))
+        self.schema = schema
+        self.inner = inner
+        #: generic hook: metadata questions delegate to the inner tree
+        self.metadata_rel = inner
+
+    def derive_row_type(self) -> RelDataType:
+        return self.inner.row_type
+
+    def attr_digest(self) -> str:
+        return f"jdbc:{self.inner.digest}"
+
+    def copy(self, inputs=None, traits=None) -> "JdbcQuery":
+        return JdbcQuery(self.schema, self.inner, traits or self.traits)
+
+    def sql(self) -> str:
+        return RelToSqlConverter(self.schema.dialect).convert(self.inner)
+
+    def execute_rows(self, ctx):
+        _, rows = self.schema.db.execute(self.sql())
+        return rows
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        # The backend runs the pushed work; Calcite only pays transfer of
+        # the result rows, which is what makes pushdown plans win.
+        rows = mq.row_count(self.inner)
+        return RelOptCost(rows, rows * 0.1, rows * mq.average_row_size(self.inner) * 0.1)
+
+    def estimate_row_count(self, mq) -> float:
+        return mq.row_count(self.inner)
+
+    def explain_terms(self):
+        return [("sql", self.sql())]
+
+
+class JdbcToEnumerableConverterRule(ConverterRule):
+    """jdbc → enumerable: results iterate out of the backend."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(JdbcQuery, schema.convention, Convention.ENUMERABLE,
+                         f"JdbcToEnumerableConverterRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        from ...core.rel import Converter
+        return Converter(call.convert_input(rel, RelTraitSet(self.schema.convention)),
+                         RelTraitSet(Convention.ENUMERABLE))
+
+
+class JdbcTableScanRule(ConverterRule):
+    """LogicalTableScan over a JDBC table → JdbcQuery leaf."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, schema.convention,
+                         f"JdbcTableScanRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if not isinstance(source, JdbcTable) or source.db is not self.schema.db:
+            return None
+        return JdbcQuery(self.schema, LogicalTableScan(rel.table))
+
+
+def _inner_top_ok(query: "JdbcQuery", *blocked) -> bool:
+    """Guard against redundant pushdown variants.
+
+    Equivalent plans differing only in where a Project/Filter sits
+    produce combinatorially many JdbcQuery leaves; pushing each stage at
+    most once onto a canonical pipeline (scan → filter → project →
+    aggregate → sort) keeps the search space small without losing any
+    distinct final query shape.
+    """
+    return not isinstance(query.inner, tuple(blocked))
+
+
+def _pushable(condition: RexNode) -> bool:
+    """JDBC backends accept any scalar predicate, but not subqueries or
+    window expressions."""
+    found = [False]
+
+    class Finder(RexVisitor):
+        def visit_subquery(self, node: RexSubQuery):
+            found[0] = True
+
+        def visit_over(self, node: RexOver):
+            found[0] = True
+
+    condition.accept(Finder())
+    return not found[0]
+
+
+class JdbcFilterPushRule(RelOptRule):
+    """Absorb a Filter into the JDBC query (WHERE pushdown)."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(operand(Filter, any_operand(JdbcQuery)),
+                         f"JdbcFilterPushRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        return (query.schema is self.schema
+                and _inner_top_ok(query, Project, Sort)
+                and _pushable(call.rel(0).condition))
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        filter_, query = call.rel(0), call.rel(1)
+        inner = LogicalFilter(query.inner, filter_.condition)
+        call.transform_to(JdbcQuery(self.schema, inner))
+
+
+class JdbcProjectPushRule(RelOptRule):
+    """Absorb a Project into the JDBC query (SELECT-list pushdown)."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(operand(Project, any_operand(JdbcQuery)),
+                         f"JdbcProjectPushRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        project, query = call.rel(0), call.rel(1)
+        return (query.schema is self.schema
+                and _inner_top_ok(query, Project, Sort)
+                and all(_pushable(p) and not contains_over(p)
+                        for p in project.projects))
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        project, query = call.rel(0), call.rel(1)
+        inner = LogicalProject(query.inner, project.projects, project.field_names)
+        call.transform_to(JdbcQuery(self.schema, inner))
+
+
+class JdbcSortPushRule(RelOptRule):
+    """Absorb a Sort/Limit into the JDBC query (ORDER BY/LIMIT pushdown)."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(operand(Sort, any_operand(JdbcQuery)),
+                         f"JdbcSortPushRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        return query.schema is self.schema and _inner_top_ok(query, Sort)
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        sort, query = call.rel(0), call.rel(1)
+        inner = LogicalSort(query.inner, sort.collation, sort.offset, sort.fetch)
+        call.transform_to(JdbcQuery(
+            self.schema, inner,
+            RelTraitSet(self.schema.convention, sort.collation)))
+
+
+class JdbcAggregatePushRule(RelOptRule):
+    """Absorb an Aggregate into the JDBC query (GROUP BY pushdown)."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(operand(Aggregate, any_operand(JdbcQuery)),
+                         f"JdbcAggregatePushRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        agg, query = call.rel(0), call.rel(1)
+        if query.schema is not self.schema:
+            return False
+        if not _inner_top_ok(query, Aggregate, Sort):
+            return False
+        supported = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+        return all(c.op.name in supported and c.filter_arg is None
+                   for c in agg.agg_calls)
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        agg, query = call.rel(0), call.rel(1)
+        inner = LogicalAggregate(query.inner, agg.group_set, agg.agg_calls)
+        call.transform_to(JdbcQuery(self.schema, inner))
+
+
+class JdbcJoinPushRule(RelOptRule):
+    """Absorb a join of two queries against the *same* backend, so the
+    backend executes the join itself."""
+
+    def __init__(self, schema: JdbcSchema) -> None:
+        super().__init__(operand(Join, any_operand(JdbcQuery), any_operand(JdbcQuery)),
+                         f"JdbcJoinPushRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        join, left, right = call.rel(0), call.rel(1), call.rel(2)
+        return (left.schema is self.schema and right.schema is self.schema
+                and _inner_top_ok(left, Aggregate, Sort)
+                and _inner_top_ok(right, Aggregate, Sort)
+                and _pushable(join.condition))
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        join, left, right = call.rel(0), call.rel(1), call.rel(2)
+        inner = LogicalJoin(left.inner, right.inner, join.condition, join.join_type)
+        call.transform_to(JdbcQuery(self.schema, inner))
+
+
+def jdbc_rules(schema: JdbcSchema) -> List[RelOptRule]:
+    return [
+        JdbcTableScanRule(schema),
+        JdbcFilterPushRule(schema),
+        JdbcProjectPushRule(schema),
+        JdbcSortPushRule(schema),
+        JdbcAggregatePushRule(schema),
+        JdbcJoinPushRule(schema),
+        JdbcToEnumerableConverterRule(schema),
+    ]

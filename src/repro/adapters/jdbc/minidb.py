@@ -1,0 +1,567 @@
+"""MiniDB — a small, self-contained in-memory SQL database.
+
+This is the *simulated backend* behind the JDBC adapter: the paper's
+evaluation scenarios use MySQL/PostgreSQL behind JDBC, which are not
+available offline, so the adapter generates dialect SQL text and
+executes it against this engine instead.  MiniDB shares the framework's
+SQL grammar (it reuses the tokenizer/parser as a library) but has its
+own executor, completely independent of the relational-algebra stack —
+it interprets the AST directly over dict-shaped rows.
+
+Supported: SELECT (WHERE / GROUP BY / HAVING / ORDER BY / LIMIT /
+OFFSET), inner/left/right/full joins, derived tables, set operations,
+VALUES, scalar expressions, aggregates (COUNT/SUM/AVG/MIN/MAX), and the
+``backend_calls``/``rows_read`` counters the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...sql import ast as sqlast
+from ...sql.parser import parse
+
+Row = Dict[str, Any]  # keys: plain column names and "alias.column"
+
+
+class MiniDbError(Exception):
+    pass
+
+
+class MiniTable:
+    """A heap table: column names plus list of value tuples."""
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Optional[List[tuple]] = None) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.rows: List[tuple] = [tuple(r) for r in (rows or [])]
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise MiniDbError(
+                f"row width {len(row)} != table width {len(self.columns)}")
+        self.rows.append(tuple(row))
+
+
+class MiniDb:
+    """The database: named tables plus a SQL executor."""
+
+    def __init__(self, name: str = "minidb") -> None:
+        self.name = name
+        self.tables: Dict[str, MiniTable] = {}
+        #: statistics the benchmarks use to show pushdown benefits
+        self.backend_calls = 0
+        self.rows_read = 0
+
+    # -- DDL/DML (API level; the SQL surface is read-only) ---------------
+    def create_table(self, name: str, columns: Sequence[str],
+                     rows: Optional[List[tuple]] = None) -> MiniTable:
+        table = MiniTable(name, columns, rows)
+        self.tables[name.upper()] = table
+        return table
+
+    def table(self, name: str) -> MiniTable:
+        try:
+            return self.tables[name.upper()]
+        except KeyError:
+            raise MiniDbError(f"no such table: {name}")
+
+    # -- query execution ---------------------------------------------------
+    def execute(self, sql: str) -> Tuple[List[str], List[tuple]]:
+        """Run a SQL query, returning (column names, rows)."""
+        self.backend_calls += 1
+        query = parse(sql)
+        return self._run_query(query)
+
+    def _run_query(self, query: sqlast.SqlQuery) -> Tuple[List[str], List[tuple]]:
+        if isinstance(query, sqlast.SqlSelect):
+            return self._run_select(query)
+        if isinstance(query, sqlast.SqlValues):
+            rows = [tuple(self._eval(v, {}) for v in row) for row in query.rows]
+            cols = [f"EXPR${i}" for i in range(len(rows[0]))] if rows else []
+            return cols, rows
+        if isinstance(query, sqlast.SqlSetOp):
+            left_cols, left_rows = self._run_query(query.left)
+            _, right_rows = self._run_query(query.right)
+            if query.kind == "UNION":
+                rows = left_rows + right_rows
+                if not query.all:
+                    rows = list(OrderedDict.fromkeys(rows))
+            elif query.kind == "INTERSECT":
+                right_set = set(right_rows)
+                rows = [r for r in OrderedDict.fromkeys(left_rows) if r in right_set]
+            else:  # EXCEPT
+                right_set = set(right_rows)
+                rows = [r for r in OrderedDict.fromkeys(left_rows)
+                        if r not in right_set]
+            return left_cols, rows
+        raise MiniDbError(f"unsupported query {type(query).__name__}")
+
+    # -- SELECT ---------------------------------------------------------------
+    def _run_select(self, select: sqlast.SqlSelect) -> Tuple[List[str], List[tuple]]:
+        if select.from_clause is not None:
+            rows = self._from_rows(select.from_clause)
+        else:
+            rows = [{}]
+        if select.where is not None:
+            rows = [r for r in rows if self._eval(select.where, r) is True]
+
+        agg_calls: List[sqlast.SqlCall] = []
+        for item in select.select_list:
+            agg_calls.extend(_find_aggs(item.expr))
+        if select.having is not None:
+            agg_calls.extend(_find_aggs(select.having))
+        is_aggregate = bool(select.group_by) or bool(agg_calls)
+
+        if is_aggregate:
+            out_cols, out_rows = self._run_aggregate(select, rows)
+        else:
+            out_cols = []
+            out_rows_dicts: List[Tuple[tuple, Row]] = []
+            for r in rows:
+                values: List[Any] = []
+                for item in select.select_list:
+                    if isinstance(item.expr, sqlast.SqlIdentifier) and item.expr.is_star:
+                        star_cols, star_vals = self._expand_star(item.expr, r)
+                        if len(out_cols) < len(select.select_list) + len(star_cols) - 1:
+                            pass
+                        values.extend(star_vals)
+                    else:
+                        values.append(self._eval(item.expr, r))
+                out_rows_dicts.append((tuple(values), r))
+            out_cols = self._output_columns(select, rows)
+            out_rows = [v for v, _ in out_rows_dicts]
+            if select.order_by:
+                order_src = [r for _, r in out_rows_dicts]
+                out_rows = self._order(select, out_rows, out_cols, order_src)
+        if is_aggregate and select.order_by:
+            out_rows = self._order(select, out_rows, out_cols, None)
+        if select.distinct:
+            out_rows = list(OrderedDict.fromkeys(out_rows))
+        if select.offset:
+            out_rows = out_rows[select.offset:]
+        if select.fetch is not None:
+            out_rows = out_rows[: select.fetch]
+        return out_cols, out_rows
+
+    def _output_columns(self, select: sqlast.SqlSelect,
+                        rows: List[Row]) -> List[str]:
+        cols: List[str] = []
+        sample = rows[0] if rows else {}
+        for i, item in enumerate(select.select_list):
+            if isinstance(item.expr, sqlast.SqlIdentifier) and item.expr.is_star:
+                star_cols, _ = self._expand_star(item.expr, sample)
+                cols.extend(star_cols)
+            elif item.alias:
+                cols.append(item.alias)
+            elif isinstance(item.expr, sqlast.SqlIdentifier):
+                cols.append(item.expr.simple)
+            else:
+                cols.append(f"EXPR${i}")
+        return cols
+
+    def _expand_star(self, ident: sqlast.SqlIdentifier,
+                     row: Row) -> Tuple[List[str], List[Any]]:
+        order = row.get("__columns__", [k for k in row if "." not in k])
+        if len(ident.names) > 1:
+            prefix = ident.names[-2]
+            cols = [c for c in order if c.startswith(prefix + ".")]
+            return [c.split(".", 1)[1] for c in cols], [row[c] for c in cols]
+        cols = [c for c in order if c != "__columns__"]
+        return cols, [row.get(c) for c in cols]
+
+    # -- FROM -------------------------------------------------------------------
+    def _from_rows(self, item: sqlast.SqlFromItem) -> List[Row]:
+        if isinstance(item, sqlast.SqlTableRef):
+            table = self.table(item.name.simple)
+            alias = item.alias or item.name.simple
+            out = []
+            for raw in table.rows:
+                self.rows_read += 1
+                row: Row = {"__columns__": list(table.columns)}
+                for col, value in zip(table.columns, raw):
+                    row[col] = value
+                    row[f"{alias}.{col}"] = value
+                out.append(row)
+            return out
+        if isinstance(item, sqlast.SqlDerivedTable):
+            cols, rows = self._run_query(item.query)
+            out = []
+            for raw in rows:
+                row = {"__columns__": list(cols)}
+                for col, value in zip(cols, raw):
+                    row[col] = value
+                    row[f"{item.alias}.{col}"] = value
+                out.append(row)
+            return out
+        if isinstance(item, sqlast.SqlJoinClause):
+            return self._join_rows(item)
+        raise MiniDbError(f"unsupported FROM item {type(item).__name__}")
+
+    def _join_rows(self, join: sqlast.SqlJoinClause) -> List[Row]:
+        left_rows = self._from_rows(join.left)
+        right_rows = self._from_rows(join.right)
+
+        def merge(l: Optional[Row], r: Optional[Row]) -> Row:
+            out: Row = {}
+            lcols = (l or {}).get("__columns__", [])
+            rcols = (r or {}).get("__columns__", [])
+            out["__columns__"] = list(lcols) + list(rcols)
+            for src in (l, r):
+                if src:
+                    for k, v in src.items():
+                        if k != "__columns__":
+                            out[k] = v
+            # NULL-fill missing side columns
+            if l is None:
+                for row in left_rows[:1]:
+                    for k in row:
+                        if k != "__columns__":
+                            out.setdefault(k, None)
+            if r is None:
+                for row in right_rows[:1]:
+                    for k in row:
+                        if k != "__columns__":
+                            out.setdefault(k, None)
+            return out
+
+        def matches(l: Row, r: Row) -> bool:
+            if join.using:
+                return all(l.get(c) is not None and l.get(c) == r.get(c)
+                           for c in join.using)
+            if join.condition is None:
+                return True
+            return self._eval(join.condition, merge(l, r)) is True
+
+        out: List[Row] = []
+        if join.kind in ("CROSS", "INNER"):
+            for l in left_rows:
+                for r in right_rows:
+                    if join.kind == "CROSS" or matches(l, r):
+                        out.append(merge(l, r))
+            return out
+        if join.kind == "LEFT":
+            for l in left_rows:
+                hit = False
+                for r in right_rows:
+                    if matches(l, r):
+                        hit = True
+                        out.append(merge(l, r))
+                if not hit:
+                    out.append(merge(l, None))
+            return out
+        if join.kind == "RIGHT":
+            for r in right_rows:
+                hit = False
+                for l in left_rows:
+                    if matches(l, r):
+                        hit = True
+                        out.append(merge(l, r))
+                if not hit:
+                    out.append(merge(None, r))
+            return out
+        if join.kind == "FULL":
+            matched_right = set()
+            for l in left_rows:
+                hit = False
+                for idx, r in enumerate(right_rows):
+                    if matches(l, r):
+                        hit = True
+                        matched_right.add(idx)
+                        out.append(merge(l, r))
+                if not hit:
+                    out.append(merge(l, None))
+            for idx, r in enumerate(right_rows):
+                if idx not in matched_right:
+                    out.append(merge(None, r))
+            return out
+        raise MiniDbError(f"unsupported join kind {join.kind}")
+
+    # -- aggregation ----------------------------------------------------------------
+    def _run_aggregate(self, select: sqlast.SqlSelect,
+                       rows: List[Row]) -> Tuple[List[str], List[tuple]]:
+        groups: "OrderedDict[tuple, List[Row]]" = OrderedDict()
+        for r in rows:
+            key = tuple(_freeze(self._eval(g, r)) for g in select.group_by)
+            groups.setdefault(key, []).append(r)
+        if not groups and not select.group_by:
+            groups[()] = []
+
+        out_rows: List[tuple] = []
+        for key, members in groups.items():
+            if select.having is not None:
+                if self._eval_agg(select.having, members, key, select) is not True:
+                    continue
+            values = []
+            for item in select.select_list:
+                values.append(self._eval_agg(item.expr, members, key, select))
+            out_rows.append(tuple(values))
+        cols = self._output_columns(select, rows)
+        return cols, out_rows
+
+    def _eval_agg(self, expr: sqlast.SqlNode, members: List[Row],
+                  key: tuple, select: sqlast.SqlSelect) -> Any:
+        # group-key match first
+        for i, g in enumerate(select.group_by):
+            if _same_expr(expr, g):
+                return key[i]
+        if isinstance(expr, sqlast.SqlCall) and expr.name in _AGG_NAMES:
+            return self._agg_value(expr, members)
+        if isinstance(expr, sqlast.SqlCall):
+            op = _SCALAR_OPS.get(expr.name)
+            args = [self._eval_agg(o, members, key, select) for o in expr.operands]
+            if op is None:
+                raise MiniDbError(f"unsupported function {expr.name}")
+            return op(*args)
+        if isinstance(expr, sqlast.SqlLiteral):
+            return expr.value
+        if isinstance(expr, sqlast.SqlCast):
+            return self._eval_agg(expr.operand, members, key, select)
+        if isinstance(expr, sqlast.SqlIdentifier):
+            raise MiniDbError(f"column {expr} is not grouped")
+        raise MiniDbError(f"unsupported aggregate expression {expr}")
+
+    def _agg_value(self, call: sqlast.SqlCall, members: List[Row]) -> Any:
+        if call.star or not call.operands:
+            values = [1] * len(members)
+        else:
+            values = [self._eval(call.operands[0], r) for r in members]
+            values = [v for v in values if v is not None]
+        if call.distinct:
+            values = list(OrderedDict.fromkeys(values))
+        name = call.name
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        if name == "MIN":
+            return min(values)
+        if name == "MAX":
+            return max(values)
+        raise MiniDbError(f"unsupported aggregate {name}")
+
+    # -- ORDER BY ----------------------------------------------------------------------
+    def _order(self, select: sqlast.SqlSelect, out_rows: List[tuple],
+               out_cols: List[str], source_rows: Optional[List[Row]]) -> List[tuple]:
+        items = select.order_by
+
+        def key_for(idx: int) -> tuple:
+            parts = []
+            for item in items:
+                value = None
+                expr = item.expr
+                if isinstance(expr, sqlast.SqlLiteral) and isinstance(expr.value, int):
+                    value = out_rows[idx][expr.value - 1]
+                elif isinstance(expr, sqlast.SqlIdentifier) and expr.simple in out_cols:
+                    value = out_rows[idx][out_cols.index(expr.simple)]
+                elif source_rows is not None:
+                    value = self._eval(expr, source_rows[idx])
+                else:
+                    raise MiniDbError(f"cannot order by {expr}")
+                parts.append(_SortKey(value, item.descending))
+            return tuple(parts)
+
+        order = sorted(range(len(out_rows)), key=key_for)
+        return [out_rows[i] for i in order]
+
+    # -- scalar evaluation ---------------------------------------------------------------
+    def _eval(self, expr: sqlast.SqlNode, row: Row) -> Any:
+        if isinstance(expr, sqlast.SqlLiteral):
+            return expr.value
+        if isinstance(expr, sqlast.SqlIntervalLiteral):
+            return expr.millis()
+        if isinstance(expr, sqlast.SqlIdentifier):
+            if len(expr.names) >= 2:
+                key = f"{expr.names[-2]}.{expr.names[-1]}"
+                if key in row:
+                    return row[key]
+            if expr.simple in row:
+                return row[expr.simple]
+            raise MiniDbError(f"unknown column {expr}")
+        if isinstance(expr, sqlast.SqlCast):
+            value = self._eval(expr.operand, row)
+            return _mini_cast(value, expr.type_name)
+        if isinstance(expr, sqlast.SqlCase):
+            for cond, result in expr.when_clauses:
+                test = (self._eval(cond, row) if expr.value is None
+                        else self._eval(expr.value, row) == self._eval(cond, row))
+                if test is True:
+                    return self._eval(result, row)
+            if expr.else_clause is not None:
+                return self._eval(expr.else_clause, row)
+            return None
+        if isinstance(expr, sqlast.SqlItemAccess):
+            coll = self._eval(expr.collection, row)
+            idx = self._eval(expr.index, row)
+            if coll is None or idx is None:
+                return None
+            if isinstance(coll, dict):
+                return coll.get(idx)
+            i = int(idx) - 1
+            return coll[i] if 0 <= i < len(coll) else None
+        if isinstance(expr, sqlast.SqlCall):
+            name = expr.name
+            if name == "AND":
+                left = self._eval(expr.operands[0], row)
+                if left is False:
+                    return False
+                right = self._eval(expr.operands[1], row)
+                if right is False:
+                    return False
+                return None if left is None or right is None else True
+            if name == "OR":
+                left = self._eval(expr.operands[0], row)
+                if left is True:
+                    return True
+                right = self._eval(expr.operands[1], row)
+                if right is True:
+                    return True
+                return None if left is None or right is None else False
+            if name == "NOT":
+                v = self._eval(expr.operands[0], row)
+                return None if v is None else (not v)
+            if name == "IS NULL":
+                return self._eval(expr.operands[0], row) is None
+            if name == "IS NOT NULL":
+                return self._eval(expr.operands[0], row) is not None
+            if name == "IN":
+                value = self._eval(expr.operands[0], row)
+                if value is None:
+                    return None
+                return value in [self._eval(o, row) for o in expr.operands[1:]]
+            if name == "BETWEEN":
+                a = self._eval(expr.operands[0], row)
+                lo = self._eval(expr.operands[1], row)
+                hi = self._eval(expr.operands[2], row)
+                if a is None or lo is None or hi is None:
+                    return None
+                return lo <= a <= hi
+            args = [self._eval(o, row) for o in expr.operands]
+            op = _SCALAR_OPS.get(name)
+            if op is None:
+                raise MiniDbError(f"unsupported function {name}")
+            if name not in ("||",) and any(a is None for a in args):
+                return None
+            return op(*args)
+        raise MiniDbError(f"unsupported expression {type(expr).__name__}")
+
+
+class _SortKey:
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        # SQL default null placement: last when ascending, first when
+        # descending (NULL sorts as the largest value).
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return self.descending
+        if b is None:
+            return not self.descending
+        return a > b if self.descending else a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+_AGG_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+def _like(value, pattern):
+    import re
+    if value is None or pattern is None:
+        return None
+    regex = ""
+    for ch in pattern:
+        if ch == "%":
+            regex += ".*"
+        elif ch == "_":
+            regex += "."
+        else:
+            regex += re.escape(ch)
+    return re.fullmatch(regex, value) is not None
+
+
+_SCALAR_OPS: Dict[str, Callable] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "MOD": lambda a, b: a % b,
+    "-/1": lambda a: -a,
+    "||": lambda a, b: ("" if a is None else str(a)) + ("" if b is None else str(b)),
+    "LIKE": _like,
+    "UPPER": lambda s: s.upper(),
+    "LOWER": lambda s: s.lower(),
+    "CHAR_LENGTH": len,
+    "TRIM": lambda s: s.strip(),
+    "ABS": abs,
+    "SUBSTRING": lambda s, start, *ln: (
+        s[int(start) - 1: int(start) - 1 + int(ln[0])] if ln else s[int(start) - 1:]),
+}
+
+
+def _mini_cast(value: Any, type_name: str) -> Any:
+    if value is None:
+        return None
+    t = type_name.upper()
+    if t in ("INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT"):
+        return int(float(value))
+    if t in ("DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC"):
+        return float(value)
+    if t in ("VARCHAR", "CHAR"):
+        return str(value)
+    if t == "BOOLEAN":
+        return bool(value)
+    return value
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return str(value)
+    return value
+
+
+def _find_aggs(node: sqlast.SqlNode) -> List[sqlast.SqlCall]:
+    out: List[sqlast.SqlCall] = []
+
+    def walk(n):
+        if isinstance(n, sqlast.SqlCall):
+            if n.name in _AGG_NAMES and n.over is None:
+                out.append(n)
+                return
+            for o in n.operands:
+                walk(o)
+        elif isinstance(n, sqlast.SqlCase):
+            for cond, result in n.when_clauses:
+                walk(cond)
+                walk(result)
+            if n.else_clause is not None:
+                walk(n.else_clause)
+        elif isinstance(n, sqlast.SqlCast):
+            walk(n.operand)
+
+    walk(node)
+    return out
+
+
+def _same_expr(a: sqlast.SqlNode, b: sqlast.SqlNode) -> bool:
+    return str(a) == str(b)

@@ -1,0 +1,11 @@
+"""The in-memory adapter: the simplest possible backend.
+
+A :class:`~repro.schema.core.MemoryTable` implements only the minimal
+adapter contract — ``scan()`` — so every relational operator over it
+executes in the enumerable convention (Section 5's fallback path).
+Re-exported here so all adapters live under ``repro.adapters``.
+"""
+
+from ..schema.core import MemoryTable, Statistic
+
+__all__ = ["MemoryTable", "Statistic"]

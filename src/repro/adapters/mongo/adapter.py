@@ -1,0 +1,223 @@
+"""The MongoDB adapter (Section 7.1).
+
+"To expose MongoDB data to Calcite, a table is created for each
+document collection with a single column named ``_MAP``: a map from
+document identifiers to their data."  Relational views over the ``_MAP``
+column (CAST + ``[]`` item access) then make document data queryable in
+tandem with relational sources.
+
+Filters over ``_MAP['field']`` expressions are pushed down as MongoDB
+find documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...core.cost import RelOptCost
+from ...core.rel import Filter, LogicalTableScan, RelNode
+from ...core.rex import (
+    COMPARISON_KINDS,
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    SqlKind,
+    decompose_conjunction,
+)
+from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
+from ...core.traits import Convention, RelTraitSet
+from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from ...schema.core import Schema, Statistic, Table
+from .store import MongoStore, render_find
+
+_F = DEFAULT_TYPE_FACTORY
+
+MONGO = Convention("mongo")
+
+
+class MongoTable(Table):
+    """A collection exposed as a one-column (_MAP) relational table."""
+
+    def __init__(self, store: MongoStore, collection: str) -> None:
+        row_type = _F.struct(["_MAP"], [_F.map(_F.varchar(), _F.any())])
+        count = len(store.collections.get(collection.lower(), []))
+        super().__init__(collection, row_type, Statistic(row_count=float(count)))
+        self.store = store
+        self.collection = collection
+
+    def scan(self):
+        for doc in self.store.collections.get(self.collection.lower(), []):
+            self.store.docs_scanned += 1
+            yield (doc,)
+
+
+class MongoSchema(Schema):
+    def __init__(self, name: str, store: MongoStore) -> None:
+        super().__init__(name)
+        self.store = store
+        self.convention = MONGO
+        for rule in mongo_rules(self):
+            self.add_rule(rule)
+
+    def add_collection(self, collection: str,
+                       documents: Optional[List[dict]] = None) -> MongoTable:
+        if documents is not None:
+            self.store.add_collection(collection, documents)
+        table = MongoTable(self.store, collection)
+        self.add_table(table)
+        return table
+
+
+class MongoQuery(RelNode):
+    """A leaf standing for a MongoDB find() executed in the store."""
+
+    def __init__(self, table: MongoTable, filter_doc: Optional[dict] = None,
+                 traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__([], traits or RelTraitSet(MONGO))
+        self.mongo_table = table
+        self.filter_doc = filter_doc
+
+    def derive_row_type(self) -> RelDataType:
+        return self.mongo_table.row_type
+
+    def attr_digest(self) -> str:
+        return self.find()
+
+    def copy(self, inputs=None, traits=None) -> "MongoQuery":
+        return MongoQuery(self.mongo_table, self.filter_doc, traits or self.traits)
+
+    def find(self) -> str:
+        """The query in mongo-shell syntax (Table 2 target language)."""
+        return render_find(self.mongo_table.collection, self.filter_doc, None)
+
+    def execute_rows(self, ctx):
+        docs = self.mongo_table.store.find(
+            self.mongo_table.collection, self.filter_doc)
+        return [(doc,) for doc in docs]
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = self.estimate_row_count(mq)
+        return RelOptCost(rows, rows * 0.2, rows * 32.0)
+
+    def estimate_row_count(self, mq) -> float:
+        base = self.mongo_table.statistic.row_count
+        if self.filter_doc:
+            return max(base * (0.25 ** min(len(self.filter_doc), 3)), 1.0)
+        return base
+
+    def explain_terms(self):
+        return [("find", self.find())]
+
+
+class MongoTableScanRule(ConverterRule):
+    def __init__(self, schema: MongoSchema) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, MONGO,
+                         f"MongoTableScanRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if not isinstance(source, MongoTable) or source.store is not self.schema.store:
+            return None
+        return MongoQuery(source)
+
+
+_OPS = {
+    SqlKind.EQUALS: "$eq",
+    SqlKind.NOT_EQUALS: "$ne",
+    SqlKind.GREATER_THAN: "$gt",
+    SqlKind.GREATER_THAN_OR_EQUAL: "$gte",
+    SqlKind.LESS_THAN: "$lt",
+    SqlKind.LESS_THAN_OR_EQUAL: "$lte",
+}
+
+
+def _field_path(node: RexNode) -> Optional[str]:
+    """Translate nested ITEM accesses over _MAP into a dotted path.
+
+    ``_MAP['loc'][0]`` → ``loc.0``; CASTs are transparent.
+    """
+    if isinstance(node, RexCall) and node.kind is SqlKind.CAST:
+        return _field_path(node.operands[0])
+    if isinstance(node, RexCall) and node.kind is SqlKind.ITEM:
+        base, key = node.operands
+        if not isinstance(key, RexLiteral):
+            return None
+        if isinstance(base, RexInputRef) and base.index == 0:
+            if isinstance(key.value, int):
+                return str(key.value - 1)  # SQL arrays are 1-based
+            return str(key.value)
+        parent = _field_path(base)
+        if parent is None:
+            return None
+        segment = str(key.value - 1) if isinstance(key.value, int) else str(key.value)
+        return f"{parent}.{segment}"
+    return None
+
+
+def translate_filter(condition: RexNode) -> Optional[dict]:
+    """Rex predicate over _MAP item accesses → a Mongo filter document."""
+    doc: Dict[str, Any] = {}
+    for conjunct in decompose_conjunction(condition):
+        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
+            return None
+        a, b = conjunct.operands
+        kind = conjunct.kind
+        if isinstance(a, RexLiteral):
+            a, b = b, a
+            kind = kind.reverse()
+        if not isinstance(b, RexLiteral):
+            return None
+        path = _field_path(a)
+        if path is None:
+            return None
+        value = b.value
+        clause = doc.setdefault(path, {})
+        if not isinstance(clause, dict):
+            return None
+        clause[_OPS[kind]] = value
+    return doc
+
+
+class MongoFilterRule(RelOptRule):
+    """Push `_MAP[...]` comparisons down as a find() filter document."""
+
+    def __init__(self, schema: MongoSchema) -> None:
+        super().__init__(operand(Filter, any_operand(MongoQuery)),
+                         f"MongoFilterRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        if query.mongo_table.store is not self.schema.store:
+            return False
+        if query.filter_doc is not None:
+            return False
+        return translate_filter(call.rel(0).condition) is not None
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        filter_, query = call.rel(0), call.rel(1)
+        doc = translate_filter(filter_.condition)
+        assert doc is not None
+        call.transform_to(MongoQuery(query.mongo_table, doc))
+
+
+class MongoToEnumerableConverterRule(ConverterRule):
+    def __init__(self, schema: MongoSchema) -> None:
+        super().__init__(MongoQuery, MONGO, Convention.ENUMERABLE,
+                         f"MongoToEnumerableConverterRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        from ...core.rel import Converter
+        return Converter(call.convert_input(rel, RelTraitSet(MONGO)),
+                         RelTraitSet(Convention.ENUMERABLE))
+
+
+def mongo_rules(schema: MongoSchema) -> List[RelOptRule]:
+    return [
+        MongoTableScanRule(schema),
+        MongoFilterRule(schema),
+        MongoToEnumerableConverterRule(schema),
+    ]

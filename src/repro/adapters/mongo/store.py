@@ -1,0 +1,117 @@
+"""A MongoDB-like document store (simulated backend).
+
+Collections hold JSON-ish documents; queries are *find* specifications
+— a filter document using ``$eq/$gt/$gte/$lt/$lte/$ne/$in`` operators
+plus an optional projection document — matching the query surface the
+real MongoDB adapter generates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class MongoError(Exception):
+    pass
+
+
+class MongoStore:
+    def __init__(self, name: str = "mongo") -> None:
+        self.name = name
+        self.collections: Dict[str, List[dict]] = {}
+        self.find_calls = 0
+        self.docs_scanned = 0
+
+    def add_collection(self, name: str, documents: Optional[Iterable[dict]] = None) -> None:
+        self.collections[name.lower()] = [dict(d) for d in (documents or [])]
+
+    def insert(self, collection: str, document: dict) -> None:
+        self.collections.setdefault(collection.lower(), []).append(dict(document))
+
+    def find(self, collection: str, filter_doc: Optional[dict] = None,
+             projection: Optional[dict] = None) -> List[dict]:
+        """Execute a find: filter + optional field projection."""
+        self.find_calls += 1
+        docs = self.collections.get(collection.lower())
+        if docs is None:
+            raise MongoError(f"no such collection: {collection}")
+        out = []
+        for doc in docs:
+            self.docs_scanned += 1
+            if filter_doc is None or self._matches(doc, filter_doc):
+                if projection:
+                    doc = {k: _get_path(doc, k) for k, keep in projection.items() if keep}
+                out.append(doc)
+        return out
+
+    # ------------------------------------------------------------------
+    def _matches(self, doc: dict, filter_doc: dict) -> bool:
+        for key, spec in filter_doc.items():
+            if key == "$and":
+                if not all(self._matches(doc, f) for f in spec):
+                    return False
+                continue
+            if key == "$or":
+                if not any(self._matches(doc, f) for f in spec):
+                    return False
+                continue
+            value = _get_path(doc, key)
+            if isinstance(spec, dict) and any(k.startswith("$") for k in spec):
+                for op, expected in spec.items():
+                    if not _test(value, op, expected):
+                        return False
+            else:
+                if value != spec:
+                    return False
+        return True
+
+
+def _get_path(doc: Any, path: str) -> Any:
+    """Dotted-path access, with integer segments indexing into arrays."""
+    current = doc
+    for part in path.split("."):
+        if current is None:
+            return None
+        if isinstance(current, dict):
+            current = current.get(part)
+        elif isinstance(current, (list, tuple)):
+            try:
+                current = current[int(part)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    return current
+
+
+def _test(value: Any, op: str, expected: Any) -> bool:
+    if op == "$eq":
+        return value == expected
+    if op == "$ne":
+        return value != expected
+    if value is None:
+        return False
+    try:
+        if op == "$gt":
+            return value > expected
+        if op == "$gte":
+            return value >= expected
+        if op == "$lt":
+            return value < expected
+        if op == "$lte":
+            return value <= expected
+    except TypeError:
+        return False
+    if op == "$in":
+        return value in expected
+    raise MongoError(f"unsupported operator {op}")
+
+
+def render_find(collection: str, filter_doc: Optional[dict],
+                projection: Optional[dict]) -> str:
+    """Render the query as it would appear in the mongo shell."""
+    parts = [json.dumps(filter_doc or {}, sort_keys=True)]
+    if projection:
+        parts.append(json.dumps(projection, sort_keys=True))
+    return f"db.{collection}.find({', '.join(parts)})"

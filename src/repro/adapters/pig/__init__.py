@@ -1,0 +1,5 @@
+"""Apache Pig adapter: Pig Latin generation from relational expressions."""
+
+from .adapter import PigTranslationError, PigTranslator, rel_to_pig
+
+__all__ = ["PigTranslationError", "PigTranslator", "rel_to_pig"]

@@ -1,0 +1,16 @@
+"""Spark adapter + its simulated RDD engine."""
+
+from .adapter import (
+    DEFAULT_SPARK_CONTEXT,
+    SPARK,
+    SparkAggregate,
+    SparkFilter,
+    SparkJoin,
+    SparkProject,
+    spark_rules,
+)
+from .rdd import RDD, SparkContext
+
+__all__ = ["DEFAULT_SPARK_CONTEXT", "RDD", "SPARK", "SparkAggregate",
+           "SparkContext", "SparkFilter", "SparkJoin", "SparkProject",
+           "spark_rules"]

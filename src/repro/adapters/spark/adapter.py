@@ -1,0 +1,243 @@
+"""The Spark adapter (Table 2: target "Java (Resilient Distributed
+Datasets)"; the external engine of Figure 2).
+
+Unlike storage adapters, Spark is an *execution* engine: any relational
+operator can convert into the ``spark`` convention, where it runs as
+RDD transformations.  Converters move rows between other conventions
+and Spark — exactly the "converters from jdbc-mysql and splunk to spark
+convention" plan the paper walks through in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...core.cost import RelOptCost
+from ...core.rel import (
+    Aggregate,
+    Converter,
+    Filter,
+    Join,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    Project,
+    RelNode,
+)
+from ...core.rex_eval import EvalContext, evaluate
+from ...core.rule import ConverterRule, RelOptRuleCall
+from ...core.traits import Convention, RelTraitSet
+from .rdd import RDD, SparkContext
+
+SPARK = Convention("spark")
+_SPARK_TRAITS = RelTraitSet(SPARK)
+
+#: module-level context so plans and benches share job counters
+DEFAULT_SPARK_CONTEXT = SparkContext()
+
+
+def _input_rdd(rel: RelNode, ctx) -> RDD:
+    """Materialise a child operator's rows as an RDD."""
+    from ...runtime.operators import _execute
+    sc = DEFAULT_SPARK_CONTEXT
+    child = rel.inputs[0] if rel.inputs else rel
+    rows = list(_execute(child, ctx))
+    return sc.parallelize(rows)
+
+
+class SparkRel(RelNode):
+    """Marker base for operators executing in the spark convention."""
+
+    def rdd(self, ctx) -> RDD:
+        raise NotImplementedError
+
+    def execute_rows(self, ctx):
+        return self.rdd(ctx).collect()
+
+
+class SparkFilter(Filter, SparkRel):
+    def rdd(self, ctx) -> RDD:
+        eval_ctx = ctx.eval_context()
+        return _input_rdd(self, ctx).filter(
+            lambda row: evaluate(self.condition, row, eval_ctx) is True)
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        in_rows = mq.row_count(self.input)
+        # distributed evaluation: cpu split across partitions, but pay a
+        # dispatch overhead per operator
+        parallelism = DEFAULT_SPARK_CONTEXT.default_parallelism
+        return RelOptCost(mq.row_count(self), in_rows / parallelism + 10.0, 5.0)
+
+
+class SparkProject(Project, SparkRel):
+    def rdd(self, ctx) -> RDD:
+        eval_ctx = ctx.eval_context()
+        exprs = self.projects
+        return _input_rdd(self, ctx).map(
+            lambda row: tuple(evaluate(e, row, eval_ctx) for e in exprs))
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = mq.row_count(self)
+        parallelism = DEFAULT_SPARK_CONTEXT.default_parallelism
+        return RelOptCost(rows, rows * len(self.projects) * 0.1 / parallelism + 10.0, 5.0)
+
+
+class SparkJoin(Join, SparkRel):
+    def rdd(self, ctx) -> RDD:
+        from ...runtime.operators import _execute
+        sc = DEFAULT_SPARK_CONTEXT
+        info = self.analyze_condition()
+        left_rows = list(_execute(self.left, ctx))
+        right_rows = list(_execute(self.right, ctx))
+        left = sc.parallelize(left_rows)
+        right = sc.parallelize(right_rows)
+        if info.left_keys and not info.non_equi:
+            lk, rk = info.left_keys, info.right_keys
+            paired = left.key_by(lambda r: tuple(r[k] for k in lk)).join(
+                right.key_by(lambda r: tuple(r[k] for k in rk)))
+            return paired.map(lambda kv: kv[1][0] + kv[1][1])
+        eval_ctx = ctx.eval_context()
+        condition = self.condition
+        return left.flat_map(
+            lambda l: [l + r for r in right_rows
+                       if evaluate(condition, l + r, eval_ctx) is True])
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        left = mq.row_count(self.left)
+        right = mq.row_count(self.right)
+        rows = mq.row_count(self)
+        parallelism = DEFAULT_SPARK_CONTEXT.default_parallelism
+        # shuffle both sides + hash join per partition + job overhead
+        shuffle_io = (left + right) * 4.0
+        return RelOptCost(rows, (left + right) / parallelism + 20.0, shuffle_io)
+
+
+class SparkAggregate(Aggregate, SparkRel):
+    def rdd(self, ctx) -> RDD:
+        from ...runtime.operators import _Accumulator, _execute
+        sc = DEFAULT_SPARK_CONTEXT
+        rows = list(_execute(self.input, ctx))
+        rdd = sc.parallelize(rows)
+        group_set = self.group_set
+        calls = self.agg_calls
+        paired = rdd.key_by(lambda r: tuple(r[g] for g in group_set))
+        grouped = paired.group_by_key()
+
+        def finish(kv):
+            key, members = kv
+            accs = [_Accumulator(c) for c in calls]
+            for row in members:
+                for acc in accs:
+                    acc.add(row)
+            return key + tuple(a.result() for a in accs)
+
+        return grouped.map(finish)
+
+    def execute_rows(self, ctx):
+        rows = self.rdd(ctx).collect()
+        if not rows and not self.group_set:
+            from ...runtime.operators import _Accumulator
+            accs = [_Accumulator(c) for c in self.agg_calls]
+            return [tuple(a.result() for a in accs)]
+        return rows
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        in_rows = mq.row_count(self.input)
+        rows = mq.row_count(self)
+        parallelism = DEFAULT_SPARK_CONTEXT.default_parallelism
+        return RelOptCost(rows, in_rows / parallelism + 20.0, in_rows * 2.0)
+
+
+class SparkToEnumerableConverter(Converter):
+    """Collects RDD results back to the driver."""
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = mq.row_count(self.input)
+        return RelOptCost(rows, rows * 0.1, rows * 1.0)
+
+
+class _SparkConverterRule(ConverterRule):
+    def __init__(self, logical_class, physical_class, name: str) -> None:
+        super().__init__(logical_class, Convention.NONE, SPARK, name)
+        self.physical_class = physical_class
+
+
+class SparkFilterRule(_SparkConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalFilter, SparkFilter, "SparkFilterRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return SparkFilter(call.convert_input(rel.input, _SPARK_TRAITS),
+                           rel.condition, _SPARK_TRAITS)
+
+
+class SparkProjectRule(_SparkConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalProject, SparkProject, "SparkProjectRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return SparkProject(call.convert_input(rel.input, _SPARK_TRAITS),
+                            rel.projects, rel.field_names, _SPARK_TRAITS)
+
+
+class SparkJoinRule(_SparkConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalJoin, SparkJoin, "SparkJoinRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return SparkJoin(
+            call.convert_input(rel.left, _SPARK_TRAITS),
+            call.convert_input(rel.right, _SPARK_TRAITS),
+            rel.condition, rel.join_type, _SPARK_TRAITS)
+
+
+class SparkAggregateRule(_SparkConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalAggregate, SparkAggregate, "SparkAggregateRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return SparkAggregate(call.convert_input(rel.input, _SPARK_TRAITS),
+                              rel.group_set, rel.agg_calls, _SPARK_TRAITS)
+
+
+class SparkToEnumerableConverterRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(RelNode, SPARK, Convention.ENUMERABLE,
+                         "SparkToEnumerableConverterRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return SparkToEnumerableConverter(
+            call.convert_input(rel, _SPARK_TRAITS),
+            RelTraitSet(Convention.ENUMERABLE))
+
+
+class EnumerableToSparkConverterRule(ConverterRule):
+    """Ship enumerable rows into the Spark engine (Figure 2's
+    jdbc-to-spark / splunk-to-spark converters compose this with each
+    adapter's to-enumerable converter)."""
+
+    def __init__(self) -> None:
+        super().__init__(RelNode, Convention.ENUMERABLE, SPARK,
+                         "EnumerableToSparkConverterRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        if isinstance(rel, Converter):
+            return None  # avoid converter ping-pong
+        converter = Converter(
+            call.convert_input(rel, RelTraitSet(Convention.ENUMERABLE)),
+            _SPARK_TRAITS)
+        return converter
+
+
+def spark_rules(include_to_spark: bool = True) -> List:
+    rules = [
+        SparkFilterRule(),
+        SparkProjectRule(),
+        SparkJoinRule(),
+        SparkAggregateRule(),
+        SparkToEnumerableConverterRule(),
+    ]
+    if include_to_spark:
+        rules.append(EnumerableToSparkConverterRule())
+    return rules

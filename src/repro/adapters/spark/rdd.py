@@ -1,0 +1,130 @@
+"""A Spark-like RDD engine (simulated backend).
+
+Resilient Distributed Datasets modelled as lazy, partitioned Python
+collections with the classic transformation/action split: ``map``,
+``filter``, ``flat_map``, ``join`` (pair RDDs), ``group_by_key``,
+``reduce_by_key``, ``sort_by``, ``union`` are lazy; ``collect``/
+``count`` trigger evaluation.  A tiny ``SparkContext`` tracks "jobs"
+so benchmarks can report how much work ran inside the Spark engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class SparkContext:
+    """Entry point; counts jobs and shuffles like a real SparkContext UI."""
+
+    def __init__(self, app_name: str = "repro", default_parallelism: int = 4) -> None:
+        self.app_name = app_name
+        self.default_parallelism = default_parallelism
+        self.jobs_run = 0
+        self.shuffles = 0
+
+    def parallelize(self, data: Iterable[Any],
+                    num_partitions: Optional[int] = None) -> "RDD":
+        items = list(data)
+        n = num_partitions or self.default_parallelism
+        n = max(min(n, len(items)), 1) if items else 1
+        partitions = [items[i::n] for i in range(n)]
+        return RDD(self, lambda: [list(p) for p in partitions])
+
+
+class RDD:
+    """A lazy, partitioned dataset; compute() yields partition lists."""
+
+    def __init__(self, sc: SparkContext,
+                 compute: Callable[[], List[List[Any]]]) -> None:
+        self.sc = sc
+        self._compute = compute
+
+    # -- transformations (lazy) -------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return RDD(self.sc, lambda: [[fn(x) for x in p] for p in self._compute()])
+
+    def filter(self, fn: Callable[[Any], bool]) -> "RDD":
+        return RDD(self.sc, lambda: [[x for x in p if fn(x)] for p in self._compute()])
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return RDD(self.sc,
+                   lambda: [[y for x in p for y in fn(x)] for p in self._compute()])
+
+    def union(self, other: "RDD") -> "RDD":
+        return RDD(self.sc, lambda: self._compute() + other._compute())
+
+    def distinct(self) -> "RDD":
+        def compute():
+            self.sc.shuffles += 1
+            seen = set()
+            out = []
+            for p in self._compute():
+                for x in p:
+                    if x not in seen:
+                        seen.add(x)
+                        out.append(x)
+            return [out]
+        return RDD(self.sc, compute)
+
+    def key_by(self, fn: Callable[[Any], Any]) -> "RDD":
+        return self.map(lambda x: (fn(x), x))
+
+    def join(self, other: "RDD") -> "RDD":
+        """Pair-RDD equi-join: (k, a) ⋈ (k, b) → (k, (a, b))."""
+        def compute():
+            self.sc.shuffles += 2
+            left: Dict[Any, List[Any]] = {}
+            for p in self._compute():
+                for k, v in p:
+                    left.setdefault(k, []).append(v)
+            out = []
+            for p in other._compute():
+                for k, v in p:
+                    for lv in left.get(k, ()):
+                        out.append((k, (lv, v)))
+            return [out]
+        return RDD(self.sc, compute)
+
+    def group_by_key(self) -> "RDD":
+        def compute():
+            self.sc.shuffles += 1
+            groups: Dict[Any, List[Any]] = {}
+            for p in self._compute():
+                for k, v in p:
+                    groups.setdefault(k, []).append(v)
+            return [list(groups.items())]
+        return RDD(self.sc, compute)
+
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any]) -> "RDD":
+        def compute():
+            self.sc.shuffles += 1
+            acc: Dict[Any, Any] = {}
+            for p in self._compute():
+                for k, v in p:
+                    acc[k] = fn(acc[k], v) if k in acc else v
+            return [list(acc.items())]
+        return RDD(self.sc, compute)
+
+    def sort_by(self, key: Callable[[Any], Any], ascending: bool = True) -> "RDD":
+        def compute():
+            self.sc.shuffles += 1
+            items = [x for p in self._compute() for x in p]
+            return [sorted(items, key=key, reverse=not ascending)]
+        return RDD(self.sc, compute)
+
+    def map_partitions(self, fn: Callable[[List[Any]], Iterable[Any]]) -> "RDD":
+        return RDD(self.sc, lambda: [list(fn(p)) for p in self._compute()])
+
+    # -- actions -------------------------------------------------------------
+    def collect(self) -> List[Any]:
+        self.sc.jobs_run += 1
+        return [x for p in self._compute() for x in p]
+
+    def count(self) -> int:
+        return len(self.collect())
+
+    def take(self, n: int) -> List[Any]:
+        return self.collect()[:n]
+
+    def num_partitions(self) -> int:
+        return len(self._compute())

@@ -1,0 +1,330 @@
+"""The Splunk adapter (Table 2: target language SPL; Figure 2 star).
+
+Pushes filters, projections and — through Splunk's external-lookup
+capability — whole joins into the ``splunk`` calling convention.  The
+Figure 2 walk-through relies on the ``SplunkJoinRule`` here: a join of
+Orders (Splunk) with Products (jdbc-mysql) is rewritten into a Splunk
+``lookup`` stage so the join runs inside the Splunk engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ...core.cost import RelOptCost
+from ...core.rel import (
+    Filter,
+    Join,
+    JoinRelType,
+    LogicalTableScan,
+    Project,
+    RelNode,
+    Sort,
+)
+from ...core.rex import (
+    COMPARISON_KINDS,
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    decompose_conjunction,
+)
+from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
+from ...core.traits import Convention, RelTraitSet
+from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from ...schema.core import Schema, Statistic, Table
+from ..jdbc.adapter import JdbcQuery
+from .store import SplunkStore
+
+_F = DEFAULT_TYPE_FACTORY
+
+SPLUNK = Convention("splunk")
+
+
+class SplunkTable(Table):
+    """A Splunk index exposed as a relational table."""
+
+    def __init__(self, store: SplunkStore, index: str,
+                 field_names: Sequence[str], field_types: Sequence[RelDataType],
+                 statistic: Optional[Statistic] = None) -> None:
+        row_type = _F.struct(field_names, field_types)
+        if statistic is None:
+            statistic = Statistic(
+                row_count=float(len(store.indexes.get(index.lower(), []))))
+        super().__init__(index, row_type, statistic)
+        self.store = store
+        self.index = index
+
+    def scan(self):
+        names = self.row_type.field_names
+        for event in self.store.indexes.get(self.index.lower(), []):
+            self.store.events_scanned += 1
+            yield tuple(event.get(n) for n in names)
+
+
+class SplunkSchema(Schema):
+    def __init__(self, name: str, store: SplunkStore) -> None:
+        super().__init__(name)
+        self.store = store
+        self.convention = SPLUNK
+        for rule in splunk_rules(self):
+            self.add_rule(rule)
+
+    def add_splunk_table(self, index: str, field_names: Sequence[str],
+                         field_types: Sequence[RelDataType],
+                         events: Optional[List[dict]] = None) -> SplunkTable:
+        if events is not None:
+            self.store.add_index(index, events)
+        table = SplunkTable(self.store, index, field_names, field_types)
+        self.add_table(table)
+        return table
+
+
+class SplunkQuery(RelNode):
+    """A leaf standing for an SPL pipeline run inside Splunk.
+
+    State: the source table, pushed search conditions, an optional
+    lookup stage (a pushed join), and an optional ``fields`` projection.
+    """
+
+    def __init__(self, table_rel, splunk_table: SplunkTable,
+                 conditions: Sequence[Tuple[str, str, Any]] = (),
+                 lookup: Optional[dict] = None,
+                 fields: Optional[List[str]] = None,
+                 row_type: Optional[RelDataType] = None,
+                 traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__([], traits or RelTraitSet(SPLUNK))
+        self.table_rel = table_rel
+        self.splunk_table = splunk_table
+        self.conditions = list(conditions)
+        self.lookup = lookup  # {table, local, remote, output: [(field, type)]}
+        self.fields = list(fields) if fields is not None else None
+        self._row_type_override = row_type
+
+    def derive_row_type(self) -> RelDataType:
+        if self._row_type_override is not None:
+            return self._row_type_override
+        base_fields = list(self.splunk_table.row_type.fields)
+        names = [f.name for f in base_fields]
+        types = [f.type for f in base_fields]
+        if self.lookup is not None:
+            for fname, ftype in self.lookup["output"]:
+                names.append(fname)
+                types.append(ftype)
+        if self.fields is not None:
+            by_name = {n.upper(): t for n, t in zip(names, types)}
+            names = list(self.fields)
+            types = [by_name.get(n.upper(), _F.any()) for n in names]
+        return _F.struct(names, types)
+
+    def attr_digest(self) -> str:
+        return self.spl()
+
+    def copy(self, inputs=None, traits=None) -> "SplunkQuery":
+        return SplunkQuery(self.table_rel, self.splunk_table, self.conditions,
+                           self.lookup, self.fields, self._row_type_override,
+                           traits or self.traits)
+
+    # -- SPL generation (the Table 2 "target language") --------------------
+    def spl(self) -> str:
+        terms = [f"index={self.splunk_table.index}"]
+        for field, op, value in self.conditions:
+            rendered = f'"{value}"' if isinstance(value, str) else value
+            terms.append(f"{field}{op}{rendered}")
+        stages = ["search " + " ".join(terms)]
+        if self.lookup is not None:
+            out = ", ".join(f for f, _t in self.lookup["output"])
+            stages.append(
+                f"lookup {self.lookup['table']} {self.lookup['local']} "
+                f"AS {self.lookup['remote']} OUTPUT {out}")
+        if self.fields is not None:
+            stages.append("fields " + ", ".join(self.fields))
+        return " | ".join(stages)
+
+    def execute_rows(self, ctx):
+        events = self.splunk_table.store.execute(self.spl())
+        names = self.row_type.field_names
+        return [tuple(e.get(n) for n in names) for e in events]
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        rows = self.estimate_row_count(mq)
+        # Searches run on indexed storage; only matched events transfer.
+        return RelOptCost(rows, rows * 0.2, rows * 8.0)
+
+    def estimate_row_count(self, mq) -> float:
+        base = self.splunk_table.statistic.row_count
+        selectivity = 0.25 ** min(len(self.conditions), 3) if self.conditions else 1.0
+        return max(base * selectivity, 1.0)
+
+    def explain_terms(self):
+        return [("spl", self.spl())]
+
+
+class SplunkTableScanRule(ConverterRule):
+    def __init__(self, schema: SplunkSchema) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, SPLUNK,
+                         f"SplunkTableScanRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if not isinstance(source, SplunkTable) or source.store is not self.schema.store:
+            return None
+        return SplunkQuery(rel, source)
+
+
+def _extract_conditions(condition: RexNode,
+                        field_names) -> Optional[List[Tuple[str, str, Any]]]:
+    """Decompose a predicate into SPL search terms; None if inexpressible."""
+    ops = {
+        "=": "=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    }
+    out: List[Tuple[str, str, Any]] = []
+    for conjunct in decompose_conjunction(condition):
+        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
+            return None
+        a, b = conjunct.operands
+        kind = conjunct.kind
+        if isinstance(a, RexLiteral) and isinstance(b, RexInputRef):
+            a, b = b, a
+            kind = kind.reverse()
+        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
+            return None
+        op = ops.get(kind.value)
+        if op is None or isinstance(b.value, (list, dict)):
+            return None
+        out.append((field_names[a.index], op, b.value))
+    return out
+
+
+class SplunkFilterRule(RelOptRule):
+    """Push a WHERE clause into the Splunk search string — the
+    "adapter-specific rule" of Figure 2."""
+
+    def __init__(self, schema: SplunkSchema) -> None:
+        super().__init__(operand(Filter, any_operand(SplunkQuery)),
+                         f"SplunkFilterRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        query = call.rel(1)
+        if query.splunk_table.store is not self.schema.store:
+            return False
+        if query.fields is not None or query.lookup is not None:
+            return False  # push filters before projections/lookups
+        return _extract_conditions(
+            call.rel(0).condition, query.row_type.field_names) is not None
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        filter_, query = call.rel(0), call.rel(1)
+        conditions = _extract_conditions(
+            filter_.condition, query.row_type.field_names)
+        assert conditions is not None
+        call.transform_to(SplunkQuery(
+            query.table_rel, query.splunk_table,
+            list(query.conditions) + conditions, query.lookup, query.fields))
+
+
+class SplunkProjectRule(RelOptRule):
+    """Push a pure-reference projection into an SPL ``fields`` stage."""
+
+    def __init__(self, schema: SplunkSchema) -> None:
+        super().__init__(operand(Project, any_operand(SplunkQuery)),
+                         f"SplunkProjectRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        project, query = call.rel(0), call.rel(1)
+        if query.splunk_table.store is not self.schema.store:
+            return False
+        if query.fields is not None:
+            return False
+        perm = project.permutation()
+        if perm is None:
+            return False
+        # SPL fields cannot rename; require names to match
+        in_names = query.row_type.field_names
+        return all(project.field_names[i] == in_names[perm[i]] for i in perm)
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        project, query = call.rel(0), call.rel(1)
+        perm = project.permutation()
+        assert perm is not None
+        in_names = query.row_type.field_names
+        fields = [in_names[perm[i]] for i in range(len(project.projects))]
+        call.transform_to(SplunkQuery(
+            query.table_rel, query.splunk_table, query.conditions,
+            query.lookup, fields))
+
+
+class SplunkJoinRule(RelOptRule):
+    """Push a Splunk ⋈ JDBC equi-join into Splunk as a lookup stage.
+
+    This is the planner rule of Figure 2 that "pushes the join through
+    the splunk-to-spark converter, and the join is now in splunk
+    convention, running inside the Splunk engine" — Splunk reaches the
+    MySQL table via its ODBC lookup registration.
+    """
+
+    def __init__(self, schema: SplunkSchema) -> None:
+        super().__init__(
+            operand(Join, any_operand(SplunkQuery), any_operand(JdbcQuery)),
+            f"SplunkJoinRule({schema.name})")
+        self.schema = schema
+
+    def matches(self, call: RelOptRuleCall) -> bool:
+        join, left, right = call.rel(0), call.rel(1), call.rel(2)
+        if join.join_type is not JoinRelType.INNER:
+            return False
+        if left.splunk_table.store is not self.schema.store:
+            return False
+        if left.lookup is not None or left.fields is not None:
+            return False
+        # The JDBC side must be a bare table scan (a lookup table).
+        from ...core.rel import TableScan
+        if not isinstance(right.inner, TableScan):
+            return False
+        table_name = right.inner.table.qualified_name[-1]
+        if table_name.lower() not in self.schema.store.lookups:
+            return False
+        info = join.analyze_condition()
+        return info.is_equi and len(info.left_keys) == 1
+
+    def on_match(self, call: RelOptRuleCall) -> None:
+        join, left, right = call.rel(0), call.rel(1), call.rel(2)
+        info = join.analyze_condition()
+        left_names = left.row_type.field_names
+        right_fields = right.inner.row_type.fields
+        table_name = right.inner.table.qualified_name[-1]
+        lookup = {
+            "table": table_name.lower(),
+            "local": left_names[info.left_keys[0]],
+            "remote": right_fields[info.right_keys[0]].name,
+            "output": [(f.name, f.type) for f in right_fields],
+        }
+        row_type = join.row_type
+        call.transform_to(SplunkQuery(
+            left.table_rel, left.splunk_table, left.conditions, lookup,
+            fields=None, row_type=row_type))
+
+
+class SplunkToEnumerableConverterRule(ConverterRule):
+    def __init__(self, schema: SplunkSchema) -> None:
+        super().__init__(SplunkQuery, SPLUNK, Convention.ENUMERABLE,
+                         f"SplunkToEnumerableConverterRule({schema.name})")
+        self.schema = schema
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        from ...core.rel import Converter
+        return Converter(call.convert_input(rel, RelTraitSet(SPLUNK)),
+                         RelTraitSet(Convention.ENUMERABLE))
+
+
+def splunk_rules(schema: SplunkSchema) -> List[RelOptRule]:
+    return [
+        SplunkTableScanRule(schema),
+        SplunkFilterRule(schema),
+        SplunkProjectRule(schema),
+        SplunkJoinRule(schema),
+        SplunkToEnumerableConverterRule(schema),
+    ]

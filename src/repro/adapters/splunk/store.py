@@ -1,0 +1,165 @@
+"""A Splunk-like event store (simulated backend).
+
+Splunk is queried with SPL search strings; this store accepts the SPL
+subset the adapter generates::
+
+    search units>25 productId=10
+      | lookup products productId OUTPUT name category
+      | fields rowtime, productId, units
+
+and supports *lookups* into an external table source — modelling the
+paper's Figure 2 observation that "Splunk can perform lookups into
+MySQL via ODBC", which is what lets the optimizer push a join into the
+Splunk engine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class SplunkError(Exception):
+    pass
+
+
+class SplunkStore:
+    """Events are dicts; each index is a list of events."""
+
+    def __init__(self, name: str = "splunk") -> None:
+        self.name = name
+        self.indexes: Dict[str, List[dict]] = {}
+        #: external lookup tables (e.g. a MySQL table via ODBC):
+        #: name → (fields, rows-provider)
+        self.lookups: Dict[str, Tuple[List[str], Callable[[], Iterable[tuple]]]] = {}
+        self.search_calls = 0
+        self.events_scanned = 0
+
+    def add_index(self, name: str, events: Optional[List[dict]] = None) -> None:
+        self.indexes[name.lower()] = list(events or [])
+
+    def add_events(self, index: str, events: Iterable[dict]) -> None:
+        self.indexes.setdefault(index.lower(), []).extend(events)
+
+    def register_lookup(self, name: str, fields: Sequence[str],
+                        rows_provider: Callable[[], Iterable[tuple]]) -> None:
+        """Register an external table reachable over ODBC-style lookup."""
+        self.lookups[name.lower()] = (list(fields), rows_provider)
+
+    # ------------------------------------------------------------------
+    def execute(self, spl: str) -> List[dict]:
+        """Run an SPL pipeline and return result events."""
+        self.search_calls += 1
+        stages = [s.strip() for s in spl.split("|")]
+        if not stages or not stages[0].startswith("search"):
+            raise SplunkError(f"SPL must start with 'search': {spl!r}")
+        events = self._search(stages[0])
+        for stage in stages[1:]:
+            if stage.startswith("lookup"):
+                events = self._lookup(stage, events)
+            elif stage.startswith("fields"):
+                events = self._fields(stage, events)
+            elif stage.startswith("head"):
+                events = events[: int(stage.split()[1])]
+            elif stage.startswith("sort"):
+                events = self._sort(stage, events)
+            else:
+                raise SplunkError(f"unsupported SPL stage: {stage!r}")
+        return events
+
+    # -- search ------------------------------------------------------------
+    _TERM = re.compile(r'(\w+)\s*(<=|>=|!=|=|<|>)\s*("([^"]*)"|\S+)')
+
+    def _search(self, stage: str) -> List[dict]:
+        body = stage[len("search"):].strip()
+        index_name: Optional[str] = None
+        conditions: List[Tuple[str, str, Any]] = []
+        for match in self._TERM.finditer(body):
+            field, op, raw, quoted = match.groups()
+            value: Any
+            if quoted is not None:
+                value = quoted
+            else:
+                try:
+                    value = int(raw)
+                except ValueError:
+                    try:
+                        value = float(raw)
+                    except ValueError:
+                        value = raw
+            if field == "index":
+                index_name = str(value)
+            else:
+                conditions.append((field, op, value))
+        if index_name is None:
+            raise SplunkError("search must name an index=...")
+        events = self.indexes.get(index_name.lower(), [])
+        out = []
+        for e in events:
+            self.events_scanned += 1
+            if all(self._test(e.get(f), op, v) for f, op, v in conditions):
+                out.append(dict(e))
+        return out
+
+    @staticmethod
+    def _test(actual: Any, op: str, expected: Any) -> bool:
+        if actual is None:
+            return False
+        try:
+            if op == "=":
+                return actual == expected
+            if op == "!=":
+                return actual != expected
+            if op == "<":
+                return actual < expected
+            if op == "<=":
+                return actual <= expected
+            if op == ">":
+                return actual > expected
+            if op == ">=":
+                return actual >= expected
+        except TypeError:
+            return False
+        raise SplunkError(f"bad operator {op}")
+
+    # -- lookup (the ODBC join path) --------------------------------------
+    def _lookup(self, stage: str, events: List[dict]) -> List[dict]:
+        # lookup <table> <local_field> AS <remote_field> OUTPUT f1, f2
+        match = re.match(
+            r"lookup\s+(\w+)\s+(\w+)\s+AS\s+(\w+)\s+OUTPUT\s+(.*)", stage)
+        if not match:
+            raise SplunkError(f"bad lookup stage: {stage!r}")
+        table, local_field, remote_field, output = match.groups()
+        out_fields = [f.strip() for f in output.split(",")]
+        if table.lower() not in self.lookups:
+            raise SplunkError(f"unknown lookup table {table}")
+        fields, provider = self.lookups[table.lower()]
+        remote_idx = fields.index(remote_field)
+        index: Dict[Any, tuple] = {}
+        for row in provider():
+            index[row[remote_idx]] = row
+        out = []
+        for e in events:
+            key = e.get(local_field)
+            row = index.get(key)
+            if row is None:
+                continue  # lookup joins are inner here
+            enriched = dict(e)
+            for f in out_fields:
+                enriched[f] = row[fields.index(f)]
+            out.append(enriched)
+        return out
+
+    # -- projection / sort -------------------------------------------------
+    @staticmethod
+    def _fields(stage: str, events: List[dict]) -> List[dict]:
+        names = [f.strip() for f in stage[len("fields"):].split(",")]
+        return [{n: e.get(n) for n in names} for e in events]
+
+    @staticmethod
+    def _sort(stage: str, events: List[dict]) -> List[dict]:
+        spec = stage[len("sort"):].strip()
+        descending = spec.startswith("-")
+        field = spec.lstrip("+-").strip()
+        return sorted(events, key=lambda e: (e.get(field) is None, e.get(field)),
+                      reverse=descending)

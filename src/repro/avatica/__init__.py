@@ -1,0 +1,138 @@
+"""Avatica: the JDBC-style driver (Section 1, Table 1).
+
+Calcite "includes a driver conforming to the standard Java API
+(JDBC)"; the Python equivalent is a PEP 249 (DB-API 2.0) style
+interface: :func:`connect` → :class:`Connection` → :class:`Cursor`
+with ``execute``/``fetchone``/``fetchall`` and ``description``.
+Dynamic parameters (``?``) are bound per execution, as with JDBC
+prepared statements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..framework import FrameworkConfig, Planner
+from ..schema.core import Catalog
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+
+class Error(Exception):
+    """DB-API base error."""
+
+
+class ProgrammingError(Error):
+    pass
+
+
+class Cursor:
+    """Executes statements and iterates result rows."""
+
+    arraysize = 1
+
+    def __init__(self, connection: "Connection") -> None:
+        self.connection = connection
+        self._rows: List[tuple] = []
+        self._pos = 0
+        self.description: Optional[List[Tuple]] = None
+        self.rowcount = -1
+        self._closed = False
+        self.last_plan = None
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        if self._closed:
+            raise ProgrammingError("cursor is closed")
+        try:
+            result = self.connection._planner.execute(sql, parameters)
+        except Error:
+            raise
+        except Exception as exc:
+            raise ProgrammingError(str(exc)) from exc
+        self._rows = result.rows
+        self._pos = 0
+        self.rowcount = len(result.rows)
+        self.last_plan = result.plan
+        self.description = [
+            (name, None, None, None, None, None, None) for name in result.columns
+        ]
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(sql, parameters)
+        return self
+
+    def fetchone(self) -> Optional[tuple]:
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[tuple]:
+        size = size or self.arraysize
+        out = self._rows[self._pos: self._pos + size]
+        self._pos += len(out)
+        return out
+
+    def fetchall(self) -> List[tuple]:
+        out = self._rows[self._pos:]
+        self._pos = len(self._rows)
+        return out
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Connection:
+    """A connection bound to a catalog (root schema)."""
+
+    def __init__(self, catalog: Catalog, **planner_options) -> None:
+        self.catalog = catalog
+        self._planner = Planner(FrameworkConfig(catalog, **planner_options))
+        self._closed = False
+
+    def cursor(self) -> Cursor:
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        return Cursor(self)
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> Cursor:
+        return self.cursor().execute(sql, parameters)
+
+    def commit(self) -> None:
+        """No transactional storage: commit is a no-op, as in Calcite."""
+
+    def rollback(self) -> None:
+        raise ProgrammingError("rollback is not supported")
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(catalog: Catalog, **planner_options) -> Connection:
+    """Open a connection over a catalog of adapter schemas."""
+    return Connection(catalog, **planner_options)

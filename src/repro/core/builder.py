@@ -1,0 +1,417 @@
+"""RelBuilder — the fluent relational-expression builder from Section 3.
+
+Systems with their own query-language parsers construct operator trees
+directly; the paper shows an Apache Pig script expressed as::
+
+    builder.scan("employee_data")
+           .aggregate(builder.group_key("deptno"),
+                      builder.count(False, "c"),
+                      builder.sum(False, "s", builder.field("sal")))
+           .build()
+
+This module reproduces that API (snake_cased).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple, Union as TyUnion
+
+from . import rex as rexmod
+from .rel import (
+    AggregateCall,
+    JoinRelType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalIntersect,
+    LogicalJoin,
+    LogicalMinus,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+    LogicalUnion,
+    LogicalValues,
+    LogicalWindow,
+    RelNode,
+    RelOptTable,
+)
+from .rex import (
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    RexOver,
+    RexWindowBound,
+    SqlOperator,
+)
+from .traits import RelCollation, RelFieldCollation
+from .types import DEFAULT_TYPE_FACTORY
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+class GroupKey:
+    """The grouping key of an aggregate being built."""
+
+    def __init__(self, nodes: Sequence[RexNode]) -> None:
+        self.nodes = list(nodes)
+
+
+class AggCallSpec:
+    """A pending aggregate call (operator + argument expressions)."""
+
+    def __init__(self, op: SqlOperator, distinct: bool, name: Optional[str],
+                 operands: Sequence[RexNode], filter_: Optional[RexNode] = None) -> None:
+        self.op = op
+        self.distinct = distinct
+        self.name = name
+        self.operands = list(operands)
+        self.filter = filter_
+
+
+class RelBuilder:
+    """Builds relational expressions against a catalog of tables.
+
+    The builder keeps a stack of relational expressions; each call such
+    as :meth:`filter` pops its inputs, pushes its result, and returns
+    ``self`` for chaining.  :meth:`build` pops the final tree.
+    """
+
+    def __init__(self, catalog: Any = None) -> None:
+        self._catalog = catalog
+        self._stack: List[RelNode] = []
+
+    # ------------------------------------------------------------------
+    # Stack access
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0) -> RelNode:
+        return self._stack[-1 - offset]
+
+    def build(self) -> RelNode:
+        if not self._stack:
+            raise ValueError("builder stack is empty")
+        return self._stack.pop()
+
+    def push(self, rel: RelNode) -> "RelBuilder":
+        self._stack.append(rel)
+        return self
+
+    # ------------------------------------------------------------------
+    # Leaf creation
+    # ------------------------------------------------------------------
+    def scan(self, *names: str) -> "RelBuilder":
+        """Push a scan of the named table (resolved via the catalog)."""
+        if self._catalog is None:
+            raise ValueError("RelBuilder has no catalog; cannot scan by name")
+        table = self._catalog.resolve_table(list(names))
+        if table is None:
+            raise KeyError(f"table not found: {'.'.join(names)}")
+        self._stack.append(LogicalTableScan(table))
+        return self
+
+    def scan_table(self, table: RelOptTable) -> "RelBuilder":
+        self._stack.append(LogicalTableScan(table))
+        return self
+
+    def values(self, field_names: Sequence[str], *rows: Sequence[Any]) -> "RelBuilder":
+        """Push a constant relation from Python tuples."""
+        if not rows:
+            raise ValueError("values requires at least one row")
+        literals = [[rexmod.literal(v) for v in row] for row in rows]
+        types = [
+            _F.least_restrictive([r[i].type for r in literals]) or _F.any()
+            for i in range(len(field_names))
+        ]
+        row_type = _F.struct(field_names, types)
+        self._stack.append(LogicalValues(row_type, literals))
+        return self
+
+    def empty_values(self, field_names: Sequence[str], types: Sequence[Any]) -> "RelBuilder":
+        self._stack.append(LogicalValues(_F.struct(field_names, types), []))
+        return self
+
+    # ------------------------------------------------------------------
+    # Row expressions
+    # ------------------------------------------------------------------
+    def field(self, name_or_index: TyUnion[str, int], input_offset: int = 0) -> RexNode:
+        """A reference to a field of the relation on top of the stack.
+
+        With two relations on the stack (before a join), fields of the
+        *right* input use ``input_offset=0`` and the *left* input
+        ``input_offset=1``; indexes are offset as the join concatenates
+        rows.
+        """
+        rel = self.peek(input_offset)
+        row_type = rel.row_type
+        if isinstance(name_or_index, int):
+            idx = name_or_index
+            f = row_type.fields[idx]
+        else:
+            f = row_type.field_by_name(name_or_index)
+            if f is None:
+                raise KeyError(
+                    f"field {name_or_index!r} not found in {row_type.field_names}")
+            idx = f.index
+        # When addressing the left input of a pending binary op, indexes
+        # are already correct; right input fields shift by left's width.
+        if input_offset == 0 and len(self._stack) >= 2:
+            idx = idx  # references are resolved at join() time via field2
+        return RexInputRef(idx, f.type)
+
+    def field2(self, left_or_right: int, name: str) -> RexNode:
+        """Field reference for join conditions: 0 = left input, 1 = right.
+
+        Right-input field indexes are shifted by the left input's width,
+        matching the concatenated join row.
+        """
+        if len(self._stack) < 2:
+            raise ValueError("field2 requires two inputs on the stack")
+        left = self.peek(1)
+        right = self.peek(0)
+        if left_or_right == 0:
+            f = left.row_type.field_by_name(name)
+            if f is None:
+                raise KeyError(f"field {name!r} not in left input")
+            return RexInputRef(f.index, f.type)
+        f = right.row_type.field_by_name(name)
+        if f is None:
+            raise KeyError(f"field {name!r} not in right input")
+        return RexInputRef(left.row_type.field_count + f.index, f.type)
+
+    def literal(self, value: Any) -> RexLiteral:
+        return rexmod.literal(value)
+
+    def call(self, op: SqlOperator, *operands: RexNode) -> RexCall:
+        return RexCall(op, list(operands))
+
+    # convenience predicates
+    def equals(self, a: RexNode, b: RexNode) -> RexCall:
+        return RexCall(rexmod.EQUALS, [a, b])
+
+    def not_equals(self, a: RexNode, b: RexNode) -> RexCall:
+        return RexCall(rexmod.NOT_EQUALS, [a, b])
+
+    def less_than(self, a: RexNode, b: RexNode) -> RexCall:
+        return RexCall(rexmod.LESS_THAN, [a, b])
+
+    def greater_than(self, a: RexNode, b: RexNode) -> RexCall:
+        return RexCall(rexmod.GREATER_THAN, [a, b])
+
+    def and_(self, *operands: RexNode) -> RexNode:
+        result = rexmod.compose_conjunction(list(operands))
+        return result if result is not None else rexmod.literal(True)
+
+    def or_(self, *operands: RexNode) -> RexNode:
+        if not operands:
+            return rexmod.literal(False)
+        result = operands[0]
+        for o in operands[1:]:
+            result = RexCall(rexmod.OR, [result, o])
+        return result
+
+    def not_(self, operand: RexNode) -> RexCall:
+        return RexCall(rexmod.NOT, [operand])
+
+    def is_null(self, operand: RexNode) -> RexCall:
+        return RexCall(rexmod.IS_NULL, [operand])
+
+    def is_not_null(self, operand: RexNode) -> RexCall:
+        return RexCall(rexmod.IS_NOT_NULL, [operand])
+
+    def cast(self, operand: RexNode, type_: Any) -> RexCall:
+        return RexCall(rexmod.CAST, [operand], type_)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def group_key(self, *fields: TyUnion[str, int, RexNode]) -> GroupKey:
+        nodes = [
+            f if isinstance(f, RexNode) else self.field(f) for f in fields
+        ]
+        return GroupKey(nodes)
+
+    def count(self, distinct: bool = False, name: Optional[str] = None,
+              *operands: RexNode) -> AggCallSpec:
+        return AggCallSpec(rexmod.COUNT, distinct, name, list(operands))
+
+    def count_star(self, name: Optional[str] = None) -> AggCallSpec:
+        return AggCallSpec(rexmod.COUNT, False, name, [])
+
+    def sum(self, distinct: bool = False, name: Optional[str] = None,
+            operand: Optional[RexNode] = None) -> AggCallSpec:
+        ops = [operand] if operand is not None else []
+        return AggCallSpec(rexmod.SUM, distinct, name, ops)
+
+    def avg(self, distinct: bool = False, name: Optional[str] = None,
+            operand: Optional[RexNode] = None) -> AggCallSpec:
+        ops = [operand] if operand is not None else []
+        return AggCallSpec(rexmod.AVG, distinct, name, ops)
+
+    def min(self, name: Optional[str] = None, operand: Optional[RexNode] = None) -> AggCallSpec:
+        return AggCallSpec(rexmod.MIN, False, name, [operand] if operand else [])
+
+    def max(self, name: Optional[str] = None, operand: Optional[RexNode] = None) -> AggCallSpec:
+        return AggCallSpec(rexmod.MAX, False, name, [operand] if operand else [])
+
+    def aggregate_call(self, op: SqlOperator, *operands: RexNode,
+                       distinct: bool = False, name: Optional[str] = None) -> AggCallSpec:
+        return AggCallSpec(op, distinct, name, list(operands))
+
+    # ------------------------------------------------------------------
+    # Relational operators
+    # ------------------------------------------------------------------
+    def filter(self, *conditions: RexNode) -> "RelBuilder":
+        condition = rexmod.compose_conjunction(list(conditions))
+        if condition is None:
+            return self
+        input_ = self._stack.pop()
+        self._stack.append(LogicalFilter(input_, condition))
+        return self
+
+    def project(self, exprs: Sequence[RexNode],
+                names: Optional[Sequence[str]] = None) -> "RelBuilder":
+        input_ = self._stack.pop()
+        if names is None:
+            names = []
+            for i, e in enumerate(exprs):
+                if isinstance(e, RexInputRef):
+                    names.append(input_.row_type.fields[e.index].name)
+                else:
+                    names.append(f"$f{i}")
+        self._stack.append(LogicalProject(input_, list(exprs), list(names)))
+        return self
+
+    def project_named(self, *pairs: Tuple[RexNode, str]) -> "RelBuilder":
+        exprs = [p[0] for p in pairs]
+        names = [p[1] for p in pairs]
+        return self.project(exprs, names)
+
+    def project_fields(self, *names: str) -> "RelBuilder":
+        """Project a subset of input fields by name."""
+        exprs = [self.field(n) for n in names]
+        return self.project(exprs, list(names))
+
+    def aggregate(self, group_key: GroupKey, *agg_calls: AggCallSpec) -> "RelBuilder":
+        input_ = self._stack.pop()
+        # Ensure grouped/aggregated expressions are plain field refs by
+        # inserting a projection when needed (Calcite does the same).
+        needed: List[RexNode] = list(group_key.nodes)
+        for spec in agg_calls:
+            needed.extend(spec.operands)
+            if spec.filter is not None:
+                needed.append(spec.filter)
+        if any(not isinstance(n, RexInputRef) for n in needed):
+            exprs: List[RexNode] = [
+                RexInputRef(i, f.type) for i, f in enumerate(input_.row_type.fields)
+            ]
+            names = list(input_.row_type.field_names)
+            mapping: dict = {}
+            for n in needed:
+                if isinstance(n, RexInputRef):
+                    mapping[n.digest] = n.index
+                elif n.digest not in mapping:
+                    mapping[n.digest] = len(exprs)
+                    exprs.append(n)
+                    names.append(f"$f{len(exprs) - 1}")
+            input_ = LogicalProject(input_, exprs, names)
+
+            def as_index(n: RexNode) -> int:
+                if isinstance(n, RexInputRef):
+                    return n.index
+                return mapping[n.digest]
+        else:
+            def as_index(n: RexNode) -> int:
+                assert isinstance(n, RexInputRef)
+                return n.index
+
+        group_set = [as_index(n) for n in group_key.nodes]
+        calls: List[AggregateCall] = []
+        for spec in agg_calls:
+            args = [as_index(o) for o in spec.operands]
+            filter_arg = as_index(spec.filter) if spec.filter is not None else None
+            arg_types = [input_.row_type.fields[a].type for a in args]
+            calls.append(AggregateCall(
+                spec.op, args, spec.distinct, spec.name,
+                spec.op.return_type(arg_types), filter_arg))
+        self._stack.append(LogicalAggregate(input_, group_set, calls))
+        return self
+
+    def distinct(self) -> "RelBuilder":
+        input_ = self.peek()
+        group = list(range(input_.row_type.field_count))
+        return self.aggregate(GroupKey([
+            RexInputRef(i, f.type) for i, f in enumerate(input_.row_type.fields)
+        ]))
+
+    def join(self, join_type: JoinRelType, condition: RexNode) -> "RelBuilder":
+        right = self._stack.pop()
+        left = self._stack.pop()
+        self._stack.append(LogicalJoin(left, right, condition, join_type))
+        return self
+
+    def join_using(self, join_type: JoinRelType, *field_names: str) -> "RelBuilder":
+        conds = [
+            self.equals(self.field2(0, n), self.field2(1, n)) for n in field_names
+        ]
+        condition = rexmod.compose_conjunction(conds) or rexmod.literal(True)
+        return self.join(join_type, condition)
+
+    def union(self, all_: bool = False, n_inputs: int = 2) -> "RelBuilder":
+        inputs = [self._stack.pop() for _ in range(n_inputs)][::-1]
+        self._stack.append(LogicalUnion(inputs, all_))
+        return self
+
+    def intersect(self, all_: bool = False) -> "RelBuilder":
+        right = self._stack.pop()
+        left = self._stack.pop()
+        self._stack.append(LogicalIntersect([left, right], all_))
+        return self
+
+    def minus(self, all_: bool = False) -> "RelBuilder":
+        right = self._stack.pop()
+        left = self._stack.pop()
+        self._stack.append(LogicalMinus([left, right], all_))
+        return self
+
+    def sort(self, *fields: TyUnion[str, int],
+             descending: bool = False) -> "RelBuilder":
+        input_ = self._stack.pop()
+        fcs = []
+        for f in fields:
+            if isinstance(f, str):
+                fld = input_.row_type.field_by_name(f)
+                if fld is None:
+                    raise KeyError(f"field {f!r} not found")
+                fcs.append(RelFieldCollation(fld.index, descending))
+            else:
+                fcs.append(RelFieldCollation(f, descending))
+        self._stack.append(LogicalSort(input_, RelCollation(fcs)))
+        return self
+
+    def sort_collation(self, collation: RelCollation,
+                       offset: Optional[int] = None,
+                       fetch: Optional[int] = None) -> "RelBuilder":
+        input_ = self._stack.pop()
+        self._stack.append(LogicalSort(input_, collation, offset, fetch))
+        return self
+
+    def limit(self, offset: Optional[int], fetch: Optional[int]) -> "RelBuilder":
+        input_ = self._stack.pop()
+        if isinstance(input_, LogicalSort) and input_.offset is None and input_.fetch is None:
+            self._stack.append(LogicalSort(
+                input_.input, input_.collation, offset, fetch))
+        else:
+            self._stack.append(LogicalSort(input_, RelCollation.EMPTY, offset, fetch))
+        return self
+
+    def window(self, exprs: Sequence[RexOver], names: Sequence[str]) -> "RelBuilder":
+        input_ = self._stack.pop()
+        self._stack.append(LogicalWindow(input_, list(exprs), list(names)))
+        return self
+
+    def over(self, op: SqlOperator, operands: Sequence[RexNode],
+             partition_by: Sequence[RexNode] = (),
+             order_by: Sequence[Tuple[RexNode, bool]] = (),
+             lower: RexWindowBound = RexWindowBound.UNBOUNDED_PRECEDING,
+             upper: RexWindowBound = RexWindowBound.CURRENT_ROW,
+             rows: bool = True) -> RexOver:
+        return RexOver(op, operands, partition_by, order_by, lower, upper, rows)

@@ -1,0 +1,56 @@
+"""Plan cost model (Section 6).
+
+The paper: "The default cost function implementation combines
+estimations for CPU, IO, and memory resources used by a given
+expression."  :class:`RelOptCost` is that three-component vector; cost
+comparison is row-count dominant with CPU/IO tie-breaking, matching
+Volcano-style planners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RelOptCost:
+    """A plan cost: estimated rows processed, CPU work, and IO volume."""
+
+    rows: float
+    cpu: float
+    io: float
+
+    ZERO: "RelOptCost" = None  # type: ignore[assignment]
+    TINY: "RelOptCost" = None  # type: ignore[assignment]
+    INFINITY: "RelOptCost" = None  # type: ignore[assignment]
+
+    def __add__(self, other: "RelOptCost") -> "RelOptCost":
+        return RelOptCost(self.rows + other.rows, self.cpu + other.cpu, self.io + other.io)
+
+    def multiply_by(self, factor: float) -> "RelOptCost":
+        return RelOptCost(self.rows * factor, self.cpu * factor, self.io * factor)
+
+    @property
+    def value(self) -> float:
+        """Scalar used for total ordering of plans."""
+        return self.rows + self.cpu + self.io
+
+    def is_infinite(self) -> bool:
+        return any(math.isinf(v) for v in (self.rows, self.cpu, self.io))
+
+    def is_lt(self, other: "RelOptCost") -> bool:
+        return self.value < other.value
+
+    def is_le(self, other: "RelOptCost") -> bool:
+        return self.value <= other.value
+
+    def __str__(self) -> str:
+        if self.is_infinite():
+            return "{inf}"
+        return f"{{{self.rows:.1f} rows, {self.cpu:.1f} cpu, {self.io:.1f} io}}"
+
+
+RelOptCost.ZERO = RelOptCost(0.0, 0.0, 0.0)
+RelOptCost.TINY = RelOptCost(1.0, 1.0, 0.0)
+RelOptCost.INFINITY = RelOptCost(math.inf, math.inf, math.inf)

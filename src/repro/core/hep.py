@@ -1,0 +1,141 @@
+"""The exhaustive (heuristic) planner engine — HepPlanner (Section 6).
+
+"The second engine is an exhaustive planner, which triggers rules
+exhaustively until it generates an expression that is no longer
+modified by any rules.  This planner is useful to quickly execute rules
+without taking into account the cost of each expression."
+
+The engine walks the operator tree, fires every matching rule, splices
+the replacement into the tree, and repeats until a full pass produces
+no change (or the match limit is hit).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from .metadata import RelMetadataQuery
+from .rel import RelNode
+from .rule import RelOptRule, RelOptRuleCall, match_operand
+
+
+class HepMatchOrder(enum.Enum):
+    TOP_DOWN = "top_down"
+    BOTTOM_UP = "bottom_up"
+    ARBITRARY = "arbitrary"
+
+
+class HepProgram:
+    """A sequence of rule groups applied in consecutive phases.
+
+    This is the paper's "multi-stage optimization logic, in which
+    different sets of rules are applied in consecutive phases".
+    """
+
+    def __init__(self) -> None:
+        self.stages: List[tuple] = []
+
+    def add_rule_collection(self, rules: Sequence[RelOptRule],
+                            order: HepMatchOrder = HepMatchOrder.ARBITRARY,
+                            match_limit: Optional[int] = None) -> "HepProgram":
+        self.stages.append((list(rules), order, match_limit))
+        return self
+
+    def add_rule(self, rule: RelOptRule,
+                 order: HepMatchOrder = HepMatchOrder.ARBITRARY,
+                 match_limit: Optional[int] = None) -> "HepProgram":
+        return self.add_rule_collection([rule], order, match_limit)
+
+
+class HepPlanner:
+    """Rule-driven rewriting of a single operator tree to a fix point."""
+
+    DEFAULT_MATCH_LIMIT = 10_000
+
+    def __init__(self, program: Optional[HepProgram] = None,
+                 rules: Optional[Sequence[RelOptRule]] = None,
+                 mq: Optional[RelMetadataQuery] = None) -> None:
+        if program is None:
+            program = HepProgram()
+            if rules:
+                program.add_rule_collection(list(rules))
+        self.program = program
+        self.mq = mq or RelMetadataQuery()
+        self.matches_fired = 0
+        self._root: Optional[RelNode] = None
+        self._transformed: Optional[RelNode] = None
+
+    # -- planner contract used by RelOptRuleCall ------------------------
+    def on_transform(self, call: RelOptRuleCall, new_rel: RelNode) -> None:
+        self._transformed = new_rel
+
+    # -- main loop -------------------------------------------------------
+    def find_best_exp(self, root: RelNode) -> RelNode:
+        """Apply every stage of the program and return the rewritten tree."""
+        current = root
+        for rules, order, match_limit in self.program.stages:
+            current = self._run_stage(current, rules, order,
+                                      match_limit or self.DEFAULT_MATCH_LIMIT)
+        return current
+
+    optimize = find_best_exp
+
+    def _run_stage(self, root: RelNode, rules: Sequence[RelOptRule],
+                   order: HepMatchOrder, match_limit: int) -> RelNode:
+        fired_in_stage = 0
+        changed = True
+        while changed and fired_in_stage < match_limit:
+            changed = False
+            nodes = self._collect(root, order)
+            for node in nodes:
+                replacement = self._apply_rules_at(node, rules)
+                if replacement is not None:
+                    root = _replace(root, node, replacement)
+                    fired_in_stage += 1
+                    self.matches_fired += 1
+                    changed = True
+                    break  # restart traversal on the new tree
+        return root
+
+    def _collect(self, root: RelNode, order: HepMatchOrder) -> List[RelNode]:
+        out: List[RelNode] = []
+
+        def walk(rel: RelNode) -> None:
+            if order is HepMatchOrder.BOTTOM_UP:
+                for i in rel.inputs:
+                    walk(i)
+                out.append(rel)
+            else:
+                out.append(rel)
+                for i in rel.inputs:
+                    walk(i)
+
+        walk(root)
+        return out
+
+    def _apply_rules_at(self, node: RelNode,
+                        rules: Sequence[RelOptRule]) -> Optional[RelNode]:
+        for rule in rules:
+            bindings = match_operand(
+                rule.operand, node, lambda r: [[c] for c in r.inputs])
+            for binding in bindings:
+                call = RelOptRuleCall(self, rule, binding, self.mq)
+                if not rule.matches(call):
+                    continue
+                self._transformed = None
+                rule.on_match(call)
+                if self._transformed is not None and \
+                        self._transformed.digest != node.digest:
+                    return self._transformed
+        return None
+
+
+def _replace(root: RelNode, target: RelNode, replacement: RelNode) -> RelNode:
+    """Return a copy of ``root`` with ``target`` (by identity) replaced."""
+    if root is target:
+        return replacement
+    new_inputs = [_replace(i, target, replacement) for i in root.inputs]
+    if all(a is b for a, b in zip(new_inputs, root.inputs)):
+        return root
+    return root.copy(inputs=new_inputs)

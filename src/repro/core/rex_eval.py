@@ -1,0 +1,332 @@
+"""Interpreter for row expressions.
+
+Evaluates a :class:`~repro.core.rex.RexNode` against a row (a Python
+tuple).  SQL three-valued logic is represented with ``None``; the
+helpers below implement null-propagating comparisons and the
+Kleene-logic AND/OR/NOT.
+
+The interpreter is used by the enumerable runtime (Section 5), by
+constant folding in the optimizer (ReduceExpressionsRule), and by the
+streaming executor.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from .rex import (
+    RexCall,
+    RexCorrelVariable,
+    RexDynamicParam,
+    RexFieldAccess,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    RexOver,
+    RexSubQuery,
+    SqlKind,
+)
+from .types import RelDataType, SqlTypeName
+
+#: Functions registered by extensions (geospatial etc.): name → callable.
+FUNCTION_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_runtime_function(name: str, fn: Callable) -> None:
+    FUNCTION_REGISTRY[name.upper()] = fn
+
+
+class EvalContext:
+    """Execution-time bindings: dynamic parameters and correlation rows."""
+
+    def __init__(self, parameters: Sequence[Any] = (),
+                 correlations: Optional[Dict[str, tuple]] = None,
+                 subquery_executor: Optional[Callable] = None) -> None:
+        self.parameters = list(parameters)
+        self.correlations = correlations or {}
+        self.subquery_executor = subquery_executor
+
+    def with_correlation(self, name: str, row: tuple) -> "EvalContext":
+        merged = dict(self.correlations)
+        merged[name] = row
+        return EvalContext(self.parameters, merged, self.subquery_executor)
+
+
+_EMPTY_CONTEXT = EvalContext()
+
+
+class RexExecutionError(Exception):
+    """A row expression failed at runtime (bad cast, unknown function…)."""
+
+
+def evaluate(node: RexNode, row: Sequence[Any],
+             context: EvalContext = _EMPTY_CONTEXT) -> Any:
+    """Evaluate ``node`` against ``row``; SQL NULL is Python None."""
+    if isinstance(node, RexLiteral):
+        return node.value
+    if isinstance(node, RexInputRef):
+        return row[node.index]
+    if isinstance(node, RexDynamicParam):
+        if node.index >= len(context.parameters):
+            raise RexExecutionError(f"unbound parameter ?{node.index}")
+        return context.parameters[node.index]
+    if isinstance(node, RexCorrelVariable):
+        if node.name not in context.correlations:
+            raise RexExecutionError(f"unbound correlation {node.name}")
+        return context.correlations[node.name]
+    if isinstance(node, RexFieldAccess):
+        base = evaluate(node.expr, row, context)
+        if base is None:
+            return None
+        if isinstance(base, dict):
+            return base.get(node.field_name)
+        if isinstance(base, (tuple, list)):
+            struct = node.expr.type
+            f = struct.field_by_name(node.field_name)
+            if f is None:
+                raise RexExecutionError(f"no field {node.field_name}")
+            return base[f.index]
+        return getattr(base, node.field_name, None)
+    if isinstance(node, RexSubQuery):
+        if context.subquery_executor is None:
+            raise RexExecutionError("no subquery executor in context")
+        return context.subquery_executor(node, row, context)
+    if isinstance(node, RexOver):
+        raise RexExecutionError(
+            "RexOver must be evaluated by the Window operator, not inline")
+    if isinstance(node, RexCall):
+        return _evaluate_call(node, row, context)
+    raise RexExecutionError(f"cannot evaluate {node!r}")
+
+
+def _evaluate_call(call: RexCall, row: Sequence[Any], context: EvalContext) -> Any:
+    kind = call.kind
+    # Short-circuiting / special forms first.
+    if kind is SqlKind.AND:
+        result: Optional[bool] = True
+        for operand in call.operands:
+            v = evaluate(operand, row, context)
+            if v is False:
+                return False
+            if v is None:
+                result = None
+        return result
+    if kind is SqlKind.OR:
+        result = False
+        for operand in call.operands:
+            v = evaluate(operand, row, context)
+            if v is True:
+                return True
+            if v is None:
+                result = None
+        return result
+    if kind is SqlKind.NOT:
+        v = evaluate(call.operands[0], row, context)
+        return None if v is None else (not v)
+    if kind is SqlKind.CASE:
+        # operands: [cond1, val1, cond2, val2, ..., else]
+        ops = call.operands
+        i = 0
+        while i + 1 < len(ops):
+            if evaluate(ops[i], row, context) is True:
+                return evaluate(ops[i + 1], row, context)
+            i += 2
+        if len(ops) % 2 == 1:
+            return evaluate(ops[-1], row, context)
+        return None
+    if kind is SqlKind.COALESCE:
+        for operand in call.operands:
+            v = evaluate(operand, row, context)
+            if v is not None:
+                return v
+        return None
+    if kind is SqlKind.IS_NULL:
+        return evaluate(call.operands[0], row, context) is None
+    if kind is SqlKind.IS_NOT_NULL:
+        return evaluate(call.operands[0], row, context) is not None
+    if kind is SqlKind.IS_TRUE:
+        return evaluate(call.operands[0], row, context) is True
+    if kind is SqlKind.IS_FALSE:
+        return evaluate(call.operands[0], row, context) is False
+    if kind is SqlKind.CAST:
+        return cast_value(evaluate(call.operands[0], row, context), call.type)
+    if kind is SqlKind.ROW:
+        return tuple(evaluate(o, row, context) for o in call.operands)
+    if kind is SqlKind.ARRAY_VALUE:
+        return [evaluate(o, row, context) for o in call.operands]
+    if kind is SqlKind.MAP_VALUE:
+        vals = [evaluate(o, row, context) for o in call.operands]
+        return {vals[i]: vals[i + 1] for i in range(0, len(vals), 2)}
+
+    # Strict functions: evaluate all operands, propagate NULL.
+    values = [evaluate(o, row, context) for o in call.operands]
+    if kind is SqlKind.ITEM:
+        return _item(values[0], values[1])
+    if kind in _STRICT_IMPLS:
+        if any(v is None for v in values):
+            return None
+        try:
+            return _STRICT_IMPLS[kind](*values)
+        except (ArithmeticError, ValueError) as exc:
+            raise RexExecutionError(f"{call.op.name}: {exc}") from exc
+    if kind is SqlKind.IN:
+        return _in(values[0], values[1:])
+    if kind is SqlKind.NOT_IN:
+        v = _in(values[0], values[1:])
+        return None if v is None else (not v)
+    if kind is SqlKind.BETWEEN:
+        a, lo, hi = values
+        if a is None or lo is None or hi is None:
+            return None
+        return lo <= a <= hi
+    # Registered extension / user-defined functions.
+    fn = FUNCTION_REGISTRY.get(call.op.name.upper())
+    if fn is not None:
+        if any(v is None for v in values):
+            return None
+        return fn(*values)
+    raise RexExecutionError(f"no implementation for operator {call.op.name}")
+
+
+def _item(collection: Any, key: Any) -> Any:
+    """The ``[]`` operator over ARRAY (1-based, per SQL) and MAP values."""
+    if collection is None or key is None:
+        return None
+    if isinstance(collection, dict):
+        return collection.get(key)
+    if isinstance(collection, (list, tuple)):
+        idx = int(key) - 1  # SQL arrays are 1-based
+        if 0 <= idx < len(collection):
+            return collection[idx]
+        return None
+    return None
+
+
+def _in(value: Any, candidates: Sequence[Any]) -> Optional[bool]:
+    if value is None:
+        return None
+    saw_null = False
+    for c in candidates:
+        if c is None:
+            saw_null = True
+        elif c == value:
+            return True
+    return None if saw_null else False
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    # re.escape escapes % and _ as themselves (no-op), but escapes the
+    # backslash forms; rebuild from the original pattern to be safe.
+    regex = ""
+    for ch in pattern:
+        if ch == "%":
+            regex += ".*"
+        elif ch == "_":
+            regex += "."
+        else:
+            regex += re.escape(ch)
+    return re.fullmatch(regex, value) is not None
+
+
+def _divide(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise RexExecutionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        q = a / b
+        return int(q) if q == int(q) else q
+    return a / b
+
+
+def _extract(unit: str, value: Any) -> int:
+    from datetime import date, datetime
+    if isinstance(value, (int, float)):
+        value = datetime.utcfromtimestamp(value / 1000.0 if value > 1e11 else value)
+    unit = unit.upper()
+    if not isinstance(value, (date, datetime)):
+        raise RexExecutionError(f"EXTRACT from non-temporal {value!r}")
+    if unit == "YEAR":
+        return value.year
+    if unit == "MONTH":
+        return value.month
+    if unit == "DAY":
+        return value.day
+    if unit == "HOUR":
+        return getattr(value, "hour", 0)
+    if unit == "MINUTE":
+        return getattr(value, "minute", 0)
+    if unit == "SECOND":
+        return getattr(value, "second", 0)
+    if unit == "DOW":
+        return value.weekday()
+    raise RexExecutionError(f"EXTRACT unit {unit} not supported")
+
+
+_STRICT_IMPLS: Dict[SqlKind, Callable] = {
+    SqlKind.EQUALS: lambda a, b: a == b,
+    SqlKind.NOT_EQUALS: lambda a, b: a != b,
+    SqlKind.LESS_THAN: lambda a, b: a < b,
+    SqlKind.LESS_THAN_OR_EQUAL: lambda a, b: a <= b,
+    SqlKind.GREATER_THAN: lambda a, b: a > b,
+    SqlKind.GREATER_THAN_OR_EQUAL: lambda a, b: a >= b,
+    SqlKind.PLUS: lambda a, b: a + b,
+    SqlKind.MINUS: lambda a, b: a - b,
+    SqlKind.TIMES: lambda a, b: a * b,
+    SqlKind.DIVIDE: _divide,
+    SqlKind.MOD: lambda a, b: a % b,
+    SqlKind.MINUS_PREFIX: lambda a: -a,
+    SqlKind.PLUS_PREFIX: lambda a: a,
+    SqlKind.LIKE: _like,
+    SqlKind.CONCAT: lambda a, b: str(a) + str(b),
+    SqlKind.SUBSTRING: lambda s, start, *length: (
+        s[int(start) - 1: int(start) - 1 + int(length[0])] if length else s[int(start) - 1:]),
+    SqlKind.UPPER: lambda s: s.upper(),
+    SqlKind.LOWER: lambda s: s.lower(),
+    SqlKind.CHAR_LENGTH: lambda s: len(s),
+    SqlKind.TRIM: lambda s: s.strip(),
+    SqlKind.ABS: abs,
+    SqlKind.FLOOR: lambda a: math.floor(a),
+    SqlKind.CEIL: lambda a: math.ceil(a),
+    SqlKind.POWER: lambda a, b: float(a) ** float(b),
+    SqlKind.SQRT: lambda a: math.sqrt(a),
+    SqlKind.LN: lambda a: math.log(a),
+    SqlKind.EXP: lambda a: math.exp(a),
+    SqlKind.EXTRACT: _extract,
+    # Streaming group-window helpers evaluate over millisecond epochs.
+    SqlKind.TUMBLE: lambda ts, interval: (int(ts) // int(interval)) * int(interval),
+    SqlKind.TUMBLE_START: lambda ts, interval: (int(ts) // int(interval)) * int(interval),
+    SqlKind.TUMBLE_END: lambda ts, interval: (int(ts) // int(interval)) * int(interval) + int(interval),
+}
+
+
+def cast_value(value: Any, target: RelDataType) -> Any:
+    """SQL CAST semantics over Python values (NULL passes through)."""
+    if value is None:
+        return None
+    name = target.type_name
+    try:
+        if name in (SqlTypeName.INTEGER, SqlTypeName.BIGINT,
+                    SqlTypeName.SMALLINT, SqlTypeName.TINYINT):
+            if isinstance(value, str):
+                return int(float(value)) if "." in value else int(value)
+            return int(value)
+        if name in (SqlTypeName.DOUBLE, SqlTypeName.FLOAT, SqlTypeName.REAL):
+            return float(value)
+        if name is SqlTypeName.DECIMAL:
+            return float(value)
+        if name in (SqlTypeName.VARCHAR, SqlTypeName.CHAR):
+            s = str(value)
+            if target.precision is not None:
+                s = s[: target.precision]
+            return s
+        if name is SqlTypeName.BOOLEAN:
+            if isinstance(value, str):
+                return value.strip().upper() in ("TRUE", "T", "1", "YES")
+            return bool(value)
+        if name is SqlTypeName.TIMESTAMP or name is SqlTypeName.DATE:
+            return value  # stored as epoch millis or date objects
+        return value
+    except (ValueError, TypeError) as exc:
+        raise RexExecutionError(f"CAST({value!r} AS {target}) failed: {exc}") from exc

@@ -1,0 +1,193 @@
+"""Row-expression simplification: constant folding and logic rewrites.
+
+Backs ``ReduceExpressionsRule`` (Section 6): rules ask the simplifier
+to reduce predicates, and the planner prunes branches that collapse to
+TRUE/FALSE.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import rex as rexmod
+from .rex import (
+    RexCall,
+    RexInputRef,
+    RexLiteral,
+    RexNode,
+    SqlKind,
+)
+from .rex_eval import RexExecutionError, evaluate
+from .types import DEFAULT_TYPE_FACTORY
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+def is_constant(node: RexNode) -> bool:
+    """True when the expression references no inputs/params/correlations."""
+    if isinstance(node, RexLiteral):
+        return True
+    if isinstance(node, RexCall):
+        if node.kind in rexmod.GROUP_WINDOW_KINDS or node.kind in rexmod.GROUP_WINDOW_AUX_KINDS:
+            return False
+        return all(is_constant(o) for o in node.operands)
+    return False
+
+
+def simplify(node: RexNode) -> RexNode:
+    """Return an equivalent, usually smaller, expression."""
+    if isinstance(node, RexLiteral) or isinstance(node, RexInputRef):
+        return node
+    if not isinstance(node, RexCall):
+        return node
+
+    operands = [simplify(o) for o in node.operands]
+    kind = node.kind
+
+    if kind is SqlKind.AND:
+        return _simplify_and(operands, node)
+    if kind is SqlKind.OR:
+        return _simplify_or(operands, node)
+    if kind is SqlKind.NOT:
+        return _simplify_not(operands[0], node)
+    if kind is SqlKind.IS_NULL and not operands[0].type.nullable:
+        return rexmod.literal(False)
+    if kind is SqlKind.IS_NOT_NULL and not operands[0].type.nullable:
+        return rexmod.literal(True)
+    if kind is SqlKind.CASE:
+        simplified = _simplify_case(operands, node)
+        if simplified is not None:
+            return simplified
+
+    rebuilt = node.clone(operands) if any(
+        a is not b for a, b in zip(operands, node.operands)) else node
+
+    # Constant folding: a call over only literals evaluates now.
+    if is_constant(rebuilt):
+        try:
+            value = evaluate(rebuilt, ())
+        except RexExecutionError:
+            return rebuilt
+        return RexLiteral(value, rebuilt.type)
+    # x = x (same digest, non-nullable) → TRUE
+    if kind is SqlKind.EQUALS and len(operands) == 2:
+        a, b = operands
+        if a.digest == b.digest and not a.type.nullable:
+            return rexmod.literal(True)
+    return rebuilt
+
+
+def _simplify_and(operands: List[RexNode], original: RexCall) -> RexNode:
+    flat: List[RexNode] = []
+    for o in operands:
+        flat.extend(rexmod.decompose_conjunction(o))
+    out: List[RexNode] = []
+    seen = set()
+    for o in flat:
+        if o.is_always_false() or (isinstance(o, RexLiteral) and o.value is None):
+            return rexmod.literal(False)
+        if o.is_always_true():
+            continue
+        if o.digest in seen:
+            continue
+        seen.add(o.digest)
+        out.append(o)
+    # Contradiction: x AND NOT x (also via negated comparison kinds,
+    # e.g. IS NULL vs IS NOT NULL on the same operand)
+    negations = set()
+    for o in out:
+        if isinstance(o, RexCall) and o.kind is SqlKind.NOT:
+            negations.add(o.operands[0].digest)
+        elif isinstance(o, RexCall):
+            negated_kind = o.kind.negate()
+            if negated_kind is not None:
+                op = _operator_for_kind(negated_kind)
+                if op is not None:
+                    negations.add(RexCall(op, list(o.operands)).digest)
+    if any(o.digest in negations for o in out):
+        return rexmod.literal(False)
+    result = rexmod.compose_conjunction(out)
+    return result if result is not None else rexmod.literal(True)
+
+
+def _simplify_or(operands: List[RexNode], original: RexCall) -> RexNode:
+    flat: List[RexNode] = []
+    for o in operands:
+        flat.extend(rexmod.decompose_disjunction(o))
+    out: List[RexNode] = []
+    seen = set()
+    for o in flat:
+        if o.is_always_true():
+            return rexmod.literal(True)
+        if o.is_always_false():
+            continue
+        if o.digest in seen:
+            continue
+        seen.add(o.digest)
+        out.append(o)
+    if not out:
+        return rexmod.literal(False)
+    result = out[0]
+    for o in out[1:]:
+        result = RexCall(rexmod.OR, [result, o])
+    return result
+
+
+def _simplify_not(operand: RexNode, original: RexCall) -> RexNode:
+    if operand.is_always_true():
+        return rexmod.literal(False)
+    if operand.is_always_false():
+        return rexmod.literal(True)
+    if isinstance(operand, RexCall):
+        # double negation
+        if operand.kind is SqlKind.NOT:
+            return operand.operands[0]
+        # invert comparisons: NOT (a < b) → a >= b
+        negated_kind = operand.kind.negate()
+        if negated_kind is not None and negated_kind is not operand.kind:
+            op = _operator_for_kind(negated_kind)
+            if op is not None:
+                return RexCall(op, list(operand.operands))
+    return original.clone([operand]) if operand is not original.operands[0] else original
+
+
+def _simplify_case(operands: List[RexNode], original: RexCall) -> Optional[RexNode]:
+    """Drop WHEN branches with constant-FALSE conditions; collapse
+    constant-TRUE conditions into the result."""
+    out: List[RexNode] = []
+    i = 0
+    while i + 1 < len(operands):
+        cond, value = operands[i], operands[i + 1]
+        if cond.is_always_false():
+            i += 2
+            continue
+        if cond.is_always_true():
+            if not out:
+                return value
+            out.extend([cond, value])
+            i += 2
+            # everything after an always-true branch is dead
+            return original.clone(out)
+        out.extend([cond, value])
+        i += 2
+    if len(operands) % 2 == 1:
+        out.append(operands[-1])
+    if len(out) == 1:
+        return out[0]
+    if len(out) != len(operands) or any(a is not b for a, b in zip(out, operands)):
+        return original.clone(out)
+    return None
+
+
+def _operator_for_kind(kind: SqlKind):
+    mapping = {
+        SqlKind.EQUALS: rexmod.EQUALS,
+        SqlKind.NOT_EQUALS: rexmod.NOT_EQUALS,
+        SqlKind.LESS_THAN: rexmod.LESS_THAN,
+        SqlKind.LESS_THAN_OR_EQUAL: rexmod.LESS_THAN_OR_EQUAL,
+        SqlKind.GREATER_THAN: rexmod.GREATER_THAN,
+        SqlKind.GREATER_THAN_OR_EQUAL: rexmod.GREATER_THAN_OR_EQUAL,
+        SqlKind.IS_NULL: rexmod.IS_NULL,
+        SqlKind.IS_NOT_NULL: rexmod.IS_NOT_NULL,
+    }
+    return mapping.get(kind)

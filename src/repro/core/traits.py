@@ -1,0 +1,214 @@
+"""Physical traits of relational expressions (Section 4).
+
+Calcite does not split logical and physical operators into separate
+class hierarchies.  Instead an operator carries a *trait set* of
+physical properties.  Changing a trait never changes the rows produced.
+
+Three trait definitions are built in, matching the paper:
+
+* :class:`Convention` — the calling convention, i.e. which data
+  processing system executes the operator.  ``Convention.NONE`` marks a
+  purely logical expression; ``Convention.ENUMERABLE`` is the built-in
+  iterator-based engine; adapters register their own conventions.
+* :class:`RelCollation` — sort order (a list of field collations).
+* :class:`RelDistribution` — how rows are partitioned across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class RelTrait:
+    """Base class for trait values."""
+
+    trait_def: str
+
+    def satisfies(self, required: "RelTrait") -> bool:
+        """True if this trait meets the ``required`` trait."""
+        return self == required
+
+
+class Convention(RelTrait):
+    """The calling convention trait: where an expression executes."""
+
+    trait_def = "convention"
+    _interned: Dict[str, "Convention"] = {}
+
+    def __new__(cls, name: str) -> "Convention":
+        if name not in cls._interned:
+            obj = super().__new__(cls)
+            obj.name = name
+            cls._interned[name] = obj
+        return cls._interned[name]
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def satisfies(self, required: RelTrait) -> bool:
+        return self is required
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+#: Logical (no implementation chosen yet) — the paper's "logical convention".
+Convention.NONE = Convention("logical")
+#: The built-in iterator engine (Section 5's enumerable calling convention).
+Convention.ENUMERABLE = Convention("enumerable")
+
+
+@dataclass(frozen=True)
+class RelFieldCollation:
+    """Sort order on one field: index + direction + null placement."""
+
+    field_index: int
+    descending: bool = False
+    nulls_first: bool = False
+
+    def __str__(self) -> str:
+        s = f"${self.field_index}"
+        if self.descending:
+            s += " DESC"
+        if self.nulls_first:
+            s += " NULLS FIRST"
+        return s
+
+
+class RelCollation(RelTrait):
+    """An ordered list of field collations; empty means "unsorted"."""
+
+    trait_def = "collation"
+
+    def __init__(self, field_collations: Sequence[RelFieldCollation] = ()) -> None:
+        self.field_collations = tuple(field_collations)
+
+    @staticmethod
+    def of(*indexes: int) -> "RelCollation":
+        return RelCollation([RelFieldCollation(i) for i in indexes])
+
+    @property
+    def keys(self) -> Tuple[int, ...]:
+        return tuple(fc.field_index for fc in self.field_collations)
+
+    def satisfies(self, required: RelTrait) -> bool:
+        """A collation satisfies any *prefix* of itself.
+
+        Sorted by (a, b) also delivers rows sorted by (a) — the property
+        the paper exploits to remove redundant sorts.
+        """
+        if not isinstance(required, RelCollation):
+            return False
+        if len(required.field_collations) > len(self.field_collations):
+            return False
+        return all(
+            mine == theirs
+            for mine, theirs in zip(self.field_collations, required.field_collations)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RelCollation) and self.field_collations == other.field_collations
+
+    def __hash__(self) -> int:
+        return hash(self.field_collations)
+
+    def __repr__(self) -> str:
+        if not self.field_collations:
+            return "[]"
+        return "[" + ", ".join(str(fc) for fc in self.field_collations) + "]"
+
+
+RelCollation.EMPTY = RelCollation()
+
+
+class RelDistribution(RelTrait):
+    """How rows are spread across parallel workers."""
+
+    trait_def = "distribution"
+
+    def __init__(self, dist_type: str, keys: Sequence[int] = ()) -> None:
+        if dist_type not in ("ANY", "SINGLETON", "BROADCAST", "HASH", "RANDOM", "RANGE"):
+            raise ValueError(f"bad distribution {dist_type}")
+        self.dist_type = dist_type
+        self.keys = tuple(keys)
+
+    @staticmethod
+    def hash(keys: Sequence[int]) -> "RelDistribution":
+        return RelDistribution("HASH", keys)
+
+    def satisfies(self, required: RelTrait) -> bool:
+        if not isinstance(required, RelDistribution):
+            return False
+        if required.dist_type == "ANY":
+            return True
+        return self.dist_type == required.dist_type and self.keys == required.keys
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelDistribution)
+                and self.dist_type == other.dist_type and self.keys == other.keys)
+
+    def __hash__(self) -> int:
+        return hash((self.dist_type, self.keys))
+
+    def __repr__(self) -> str:
+        if self.keys:
+            return f"{self.dist_type}{list(self.keys)}"
+        return self.dist_type
+
+
+RelDistribution.ANY = RelDistribution("ANY")
+RelDistribution.SINGLETON = RelDistribution("SINGLETON")
+RelDistribution.BROADCAST = RelDistribution("BROADCAST")
+RelDistribution.RANDOM = RelDistribution("RANDOM")
+
+
+class RelTraitSet:
+    """An immutable set of traits, one per trait definition."""
+
+    def __init__(self, convention: Convention = Convention.NONE,
+                 collation: RelCollation = RelCollation.EMPTY,
+                 distribution: RelDistribution = RelDistribution.ANY) -> None:
+        self.convention = convention
+        self.collation = collation
+        self.distribution = distribution
+
+    def replace(self, trait: RelTrait) -> "RelTraitSet":
+        if isinstance(trait, Convention):
+            return RelTraitSet(trait, self.collation, self.distribution)
+        if isinstance(trait, RelCollation):
+            return RelTraitSet(self.convention, trait, self.distribution)
+        if isinstance(trait, RelDistribution):
+            return RelTraitSet(self.convention, self.collation, trait)
+        raise TypeError(f"unknown trait {trait!r}")
+
+    def satisfies(self, required: "RelTraitSet") -> bool:
+        return (self.convention.satisfies(required.convention)
+                and self.collation.satisfies(required.collation)
+                and self.distribution.satisfies(required.distribution))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelTraitSet)
+                and self.convention == other.convention
+                and self.collation == other.collation
+                and self.distribution == other.distribution)
+
+    def __hash__(self) -> int:
+        return hash((self.convention, self.collation, self.distribution))
+
+    def __repr__(self) -> str:
+        parts = [repr(self.convention)]
+        if self.collation.field_collations:
+            parts.append(repr(self.collation))
+        if self.distribution != RelDistribution.ANY:
+            parts.append(repr(self.distribution))
+        return ".".join(parts)
+
+
+RelTraitSet.LOGICAL = RelTraitSet()

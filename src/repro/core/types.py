@@ -1,0 +1,343 @@
+"""Relational type system (RelDataType).
+
+Calcite describes the data flowing between relational operators with a
+rich SQL type system: numerics, character data, temporal types,
+intervals, and — for the Section 7 extensions — the complex types
+ARRAY, MAP and MULTISET plus GEOMETRY.  Types carry nullability, and the
+validator combines types with the SQL "least restrictive" rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class SqlTypeName(enum.Enum):
+    """Names of the SQL types supported by the framework."""
+
+    BOOLEAN = "BOOLEAN"
+    TINYINT = "TINYINT"
+    SMALLINT = "SMALLINT"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DECIMAL = "DECIMAL"
+    FLOAT = "FLOAT"
+    REAL = "REAL"
+    DOUBLE = "DOUBLE"
+    CHAR = "CHAR"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+    TIME = "TIME"
+    TIMESTAMP = "TIMESTAMP"
+    INTERVAL = "INTERVAL"
+    ARRAY = "ARRAY"
+    MAP = "MAP"
+    MULTISET = "MULTISET"
+    ROW = "ROW"
+    GEOMETRY = "GEOMETRY"
+    NULL = "NULL"
+    ANY = "ANY"
+    SYMBOL = "SYMBOL"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.value
+
+
+_NUMERIC_TYPES = {
+    SqlTypeName.TINYINT,
+    SqlTypeName.SMALLINT,
+    SqlTypeName.INTEGER,
+    SqlTypeName.BIGINT,
+    SqlTypeName.DECIMAL,
+    SqlTypeName.FLOAT,
+    SqlTypeName.REAL,
+    SqlTypeName.DOUBLE,
+}
+
+_CHAR_TYPES = {SqlTypeName.CHAR, SqlTypeName.VARCHAR}
+
+_TEMPORAL_TYPES = {SqlTypeName.DATE, SqlTypeName.TIME, SqlTypeName.TIMESTAMP}
+
+# Ordering used by least-restrictive: later wins.
+_NUMERIC_PRECEDENCE = [
+    SqlTypeName.TINYINT,
+    SqlTypeName.SMALLINT,
+    SqlTypeName.INTEGER,
+    SqlTypeName.BIGINT,
+    SqlTypeName.DECIMAL,
+    SqlTypeName.REAL,
+    SqlTypeName.FLOAT,
+    SqlTypeName.DOUBLE,
+]
+
+
+@dataclass(frozen=True)
+class RelDataType:
+    """An immutable SQL type: a type name plus modifiers.
+
+    ``precision`` holds length for character types and precision for
+    DECIMAL; ``scale`` holds DECIMAL scale.  ``component`` is the element
+    type of ARRAY/MULTISET; ``key_type``/``value_type`` describe MAP.
+    ROW types carry ``fields`` — a tuple of :class:`RelDataTypeField`.
+    """
+
+    type_name: SqlTypeName
+    nullable: bool = True
+    precision: Optional[int] = None
+    scale: Optional[int] = None
+    component: Optional["RelDataType"] = None
+    key_type: Optional["RelDataType"] = None
+    value_type: Optional["RelDataType"] = None
+    fields: Tuple["RelDataTypeField", ...] = field(default=())
+    interval_unit: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        return self.type_name in _NUMERIC_TYPES
+
+    @property
+    def is_character(self) -> bool:
+        return self.type_name in _CHAR_TYPES
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.type_name in _TEMPORAL_TYPES
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.type_name is SqlTypeName.BOOLEAN
+
+    @property
+    def is_struct(self) -> bool:
+        return self.type_name is SqlTypeName.ROW
+
+    @property
+    def is_complex(self) -> bool:
+        return self.type_name in (
+            SqlTypeName.ARRAY,
+            SqlTypeName.MAP,
+            SqlTypeName.MULTISET,
+        )
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def field_count(self) -> int:
+        return len(self.fields)
+
+    def field_by_name(self, name: str, case_sensitive: bool = False) -> Optional["RelDataTypeField"]:
+        """Look up a struct field by name, case-insensitively by default."""
+        for f in self.fields:
+            if f.name == name or (not case_sensitive and f.name.upper() == name.upper()):
+                return f
+        return None
+
+    def with_nullable(self, nullable: bool) -> "RelDataType":
+        if nullable == self.nullable:
+            return self
+        return RelDataType(
+            self.type_name,
+            nullable,
+            self.precision,
+            self.scale,
+            self.component,
+            self.key_type,
+            self.value_type,
+            self.fields,
+            self.interval_unit,
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        name = self.type_name.value
+        if self.type_name is SqlTypeName.ROW:
+            inner = ", ".join(f"{f.name} {f.type}" for f in self.fields)
+            base = f"ROW({inner})"
+        elif self.type_name is SqlTypeName.ARRAY and self.component is not None:
+            base = f"{self.component} ARRAY"
+        elif self.type_name is SqlTypeName.MULTISET and self.component is not None:
+            base = f"{self.component} MULTISET"
+        elif self.type_name is SqlTypeName.MAP and self.key_type is not None:
+            base = f"(MAP {self.key_type}, {self.value_type})"
+        elif self.type_name is SqlTypeName.INTERVAL and self.interval_unit:
+            base = f"INTERVAL {self.interval_unit}"
+        elif self.precision is not None and self.scale is not None:
+            base = f"{name}({self.precision}, {self.scale})"
+        elif self.precision is not None:
+            base = f"{name}({self.precision})"
+        else:
+            base = name
+        if not self.nullable:
+            base += " NOT NULL"
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return str(self)
+
+
+@dataclass(frozen=True)
+class RelDataTypeField:
+    """A named, positioned field of a ROW type."""
+
+    name: str
+    index: int
+    type: RelDataType
+
+    def __str__(self) -> str:
+        return f"#{self.index}: {self.name} {self.type}"
+
+
+class RelDataTypeFactory:
+    """Factory and algebra for :class:`RelDataType` instances.
+
+    Mirrors Calcite's ``RelDataTypeFactory``: creation of simple and
+    complex types, struct construction, and least-restrictive / family
+    coercion logic used by the validator and by rex simplification.
+    """
+
+    def __init__(self) -> None:
+        self._interned: dict = {}
+
+    # -- simple types ---------------------------------------------------
+    def of(self, name: SqlTypeName, nullable: bool = True, precision: Optional[int] = None,
+           scale: Optional[int] = None) -> RelDataType:
+        key = (name, nullable, precision, scale)
+        if key not in self._interned:
+            self._interned[key] = RelDataType(name, nullable, precision, scale)
+        return self._interned[key]
+
+    def boolean(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.BOOLEAN, nullable)
+
+    def integer(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.INTEGER, nullable)
+
+    def bigint(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.BIGINT, nullable)
+
+    def double(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.DOUBLE, nullable)
+
+    def decimal(self, precision: int = 19, scale: int = 0, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.DECIMAL, nullable, precision, scale)
+
+    def varchar(self, precision: Optional[int] = None, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.VARCHAR, nullable, precision)
+
+    def char(self, precision: int, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.CHAR, nullable, precision)
+
+    def date(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.DATE, nullable)
+
+    def time(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.TIME, nullable)
+
+    def timestamp(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.TIMESTAMP, nullable)
+
+    def interval(self, unit: str = "SECOND", nullable: bool = False) -> RelDataType:
+        return RelDataType(SqlTypeName.INTERVAL, nullable, interval_unit=unit)
+
+    def geometry(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.GEOMETRY, nullable)
+
+    def null_type(self) -> RelDataType:
+        return self.of(SqlTypeName.NULL, True)
+
+    def any(self, nullable: bool = True) -> RelDataType:
+        return self.of(SqlTypeName.ANY, nullable)
+
+    def symbol(self) -> RelDataType:
+        return self.of(SqlTypeName.SYMBOL, False)
+
+    # -- complex types --------------------------------------------------
+    def array(self, component: RelDataType, nullable: bool = True) -> RelDataType:
+        return RelDataType(SqlTypeName.ARRAY, nullable, component=component)
+
+    def multiset(self, component: RelDataType, nullable: bool = True) -> RelDataType:
+        return RelDataType(SqlTypeName.MULTISET, nullable, component=component)
+
+    def map(self, key_type: RelDataType, value_type: RelDataType,
+            nullable: bool = True) -> RelDataType:
+        return RelDataType(SqlTypeName.MAP, nullable, key_type=key_type, value_type=value_type)
+
+    def struct(self, names: Sequence[str], types: Sequence[RelDataType],
+               nullable: bool = False) -> RelDataType:
+        if len(names) != len(types):
+            raise ValueError("names and types must have equal length")
+        fields = tuple(
+            RelDataTypeField(name, i, typ) for i, (name, typ) in enumerate(zip(names, types))
+        )
+        return RelDataType(SqlTypeName.ROW, nullable, fields=fields)
+
+    def struct_of(self, fields: Sequence[RelDataTypeField]) -> RelDataType:
+        renumbered = tuple(
+            RelDataTypeField(f.name, i, f.type) for i, f in enumerate(fields)
+        )
+        return RelDataType(SqlTypeName.ROW, False, fields=renumbered)
+
+    # -- coercion -------------------------------------------------------
+    def least_restrictive(self, types: Sequence[RelDataType]) -> Optional[RelDataType]:
+        """The common supertype of ``types`` under SQL coercion rules.
+
+        Returns ``None`` when the types are incompatible (e.g. BOOLEAN
+        with VARCHAR), matching Calcite's behaviour.
+        """
+        original_count = len(types)
+        types = [t for t in types if t.type_name is not SqlTypeName.NULL]
+        saw_null = len(types) != original_count
+        nullable = any(t.nullable for t in types) or saw_null or not types
+        if not types:
+            return self.null_type()
+        if any(t.type_name is SqlTypeName.ANY for t in types):
+            return self.any(nullable)
+        first = types[0]
+        if all(t.type_name is first.type_name for t in types):
+            precision = None
+            if any(t.precision is not None for t in types):
+                precision = max((t.precision or 0) for t in types)
+            scale = None
+            if any(t.scale is not None for t in types):
+                scale = max((t.scale or 0) for t in types)
+            return RelDataType(first.type_name, nullable, precision, scale,
+                               first.component, first.key_type, first.value_type,
+                               first.fields, first.interval_unit)
+        if all(t.is_numeric for t in types):
+            best = max(types, key=lambda t: _NUMERIC_PRECEDENCE.index(t.type_name))
+            return self.of(best.type_name, nullable, best.precision, best.scale)
+        if all(t.is_character for t in types):
+            precision = None
+            if all(t.precision is not None for t in types):
+                precision = max(t.precision for t in types)  # type: ignore[type-var]
+            return self.of(SqlTypeName.VARCHAR, nullable, precision)
+        if all(t.is_temporal for t in types):
+            return self.timestamp(nullable)
+        return None
+
+    def enforce_compatible(self, left: RelDataType, right: RelDataType) -> RelDataType:
+        result = self.least_restrictive([left, right])
+        if result is None:
+            raise TypeCoercionError(f"cannot coerce {left} and {right}")
+        return result
+
+
+class TypeError_(Exception):
+    """Base class for validator/type errors (named to avoid the builtin)."""
+
+
+class TypeCoercionError(TypeError_):
+    """Raised when two types have no common supertype."""
+
+
+#: A process-wide default factory; most callers never need their own.
+DEFAULT_TYPE_FACTORY = RelDataTypeFactory()

@@ -1,0 +1,171 @@
+"""The framework facade: Figure 1's architecture wired together.
+
+:class:`FrameworkConfig` + :class:`Planner` mirror Calcite's
+``Frameworks``/``Planner`` entry points: parse → validate/convert →
+(multi-stage) optimize → execute.  Systems that bring their own parser
+skip straight to :meth:`Planner.optimize` with an operator tree built
+via :class:`repro.core.builder.RelBuilder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .core.hep import HepMatchOrder, HepPlanner, HepProgram
+from .core.metadata import MetadataProvider, RelMetadataQuery
+from .core.rel import RelNode
+from .core.rule import RelOptRule
+from .core.rules import (
+    join_reorder_rules,
+    prune_empty_rules,
+    reduce_expression_rules,
+    standard_logical_rules,
+)
+from .core.traits import Convention, RelTraitSet
+from .core.volcano import VolcanoPlanner
+from .runtime.nodes import enumerable_rules
+from .runtime.operators import ExecutionContext, execute
+from .schema.core import Catalog
+from .sql.parser import parse
+from .sql.to_rel import SqlToRelConverter
+
+
+@dataclass
+class FrameworkConfig:
+    """Configuration for a planning session."""
+
+    catalog: Catalog
+    #: extra rules (beyond the standard set and adapter-contributed ones)
+    rules: List[RelOptRule] = field(default_factory=list)
+    #: extra metadata providers, consulted before the defaults
+    metadata_providers: List[MetadataProvider] = field(default_factory=list)
+    #: enable the cost-based join-reordering rules
+    join_reorder: bool = True
+    #: volcano search mode; False enables the δ-threshold early stop
+    exhaustive: bool = True
+    delta: float = 0.0
+    patience: int = 50
+    #: memoise metadata requests (the paper's metadata cache)
+    metadata_caching: bool = True
+    #: enable materialized-view rewriting
+    use_materializations: bool = True
+    #: enable lattice-based rewriting
+    use_lattices: bool = True
+
+
+class Planner:
+    """End-to-end planning pipeline over a catalog."""
+
+    def __init__(self, config: FrameworkConfig) -> None:
+        self.config = config
+        self.catalog = config.catalog
+        self.converter = SqlToRelConverter(self.catalog)
+        self.last_volcano: Optional[VolcanoPlanner] = None
+
+    # -- stage 1: parse ---------------------------------------------------
+    def parse(self, sql: str):
+        return parse(sql)
+
+    # -- stage 2: validate + convert ----------------------------------------
+    def rel(self, sql: str) -> RelNode:
+        return self.converter.convert_sql(sql)
+
+    # -- stage 3: optimize ---------------------------------------------------
+    def optimize(self, rel: RelNode,
+                 required: Optional[RelTraitSet] = None) -> RelNode:
+        """Multi-stage optimization (Section 6's "planner programs").
+
+        Stage A rewrites with the exhaustive Hep engine (expression
+        reduction, empty-branch pruning, filter pushdown) — cheap,
+        always-good rewrites.  Stage B runs the Volcano engine with the
+        full rule set (including adapter conversion rules) to pick the
+        cheapest physical plan.
+        """
+        rel = self.rewrite_with_hep(rel)
+        rel = self.apply_materializations(rel)
+        return self.optimize_with_volcano(rel, required)
+
+    def rewrite_with_hep(self, rel: RelNode) -> RelNode:
+        program = HepProgram()
+        program.add_rule_collection(reduce_expression_rules() + prune_empty_rules(),
+                                    HepMatchOrder.BOTTOM_UP)
+        hep = HepPlanner(program, mq=self._mq())
+        return hep.find_best_exp(rel)
+
+    def apply_materializations(self, rel: RelNode) -> RelNode:
+        """Materialized-view and lattice rewriting (Section 6)."""
+        if self.config.use_materializations:
+            materializations = self.catalog.all_materializations()
+            if materializations:
+                from .mv.substitution import try_substitute
+                rewritten = try_substitute(rel, materializations, self._mq())
+                if rewritten is not None:
+                    rel = rewritten
+        if self.config.use_lattices:
+            lattices = self.catalog.all_lattices()
+            if lattices:
+                from .mv.lattice import try_rewrite_with_lattices
+                rewritten = try_rewrite_with_lattices(rel, lattices)
+                if rewritten is not None:
+                    rel = rewritten
+        return rel
+
+    def optimize_with_volcano(self, rel: RelNode,
+                              required: Optional[RelTraitSet] = None) -> RelNode:
+        rules = self.all_rules()
+        planner = VolcanoPlanner(
+            rules=rules, mq=self._mq(),
+            exhaustive=self.config.exhaustive,
+            delta=self.config.delta, patience=self.config.patience)
+        self.last_volcano = planner
+        return planner.optimize(rel, required or RelTraitSet(Convention.ENUMERABLE))
+
+    def all_rules(self) -> List[RelOptRule]:
+        rules = standard_logical_rules()
+        if self.config.join_reorder:
+            rules += join_reorder_rules()
+        rules += enumerable_rules()
+        rules += self.catalog.all_rules()
+        rules += self.config.rules
+        return rules
+
+    def _mq(self) -> RelMetadataQuery:
+        return RelMetadataQuery(self.config.metadata_providers,
+                                caching=self.config.metadata_caching)
+
+    # -- stage 4: execute ----------------------------------------------------------
+    def execute(self, rel_or_sql, parameters: Sequence[Any] = ()) -> "Result":
+        if isinstance(rel_or_sql, str):
+            logical = self.rel(rel_or_sql)
+        else:
+            logical = rel_or_sql
+        physical = self.optimize(logical)
+        ctx = ExecutionContext(parameters)
+        rows = list(execute(physical, ctx))
+        return Result(rows, list(physical.row_type.field_names), physical, ctx)
+
+
+class Result:
+    """Rows plus plan/statistics from one executed statement."""
+
+    def __init__(self, rows: List[tuple], columns: List[str],
+                 plan: RelNode, context: ExecutionContext) -> None:
+        self.rows = rows
+        self.columns = columns
+        self.plan = plan
+        self.context = context
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+def planner_for(catalog: Catalog, **kwargs) -> Planner:
+    """Shorthand for the common ``Planner(FrameworkConfig(catalog))``."""
+    return Planner(FrameworkConfig(catalog, **kwargs))

@@ -1,0 +1,18 @@
+"""Geospatial extension (Section 7.3): GEOMETRY type + OpenGIS ST_* functions."""
+
+from .functions import register_geo_functions
+from .geometry import (
+    Geometry,
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+    contains,
+    distance,
+    intersects,
+    parse_wkt,
+)
+
+__all__ = ["Geometry", "GeometryError", "LineString", "Point", "Polygon",
+           "contains", "distance", "intersects", "parse_wkt",
+           "register_geo_functions"]

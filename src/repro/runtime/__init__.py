@@ -1,0 +1,41 @@
+"""The enumerable execution engine (Section 5) and LINQ4J (Section 7.4)."""
+
+from .enumerable import Enumerable
+from .nodes import (
+    ENUMERABLE,
+    EnumerableAggregate,
+    EnumerableCorrelate,
+    EnumerableFilter,
+    EnumerableIntersect,
+    EnumerableJoin,
+    EnumerableMinus,
+    EnumerableProject,
+    EnumerableSort,
+    EnumerableTableScan,
+    EnumerableUnion,
+    EnumerableValues,
+    EnumerableWindow,
+    enumerable_rules,
+)
+from .operators import ExecutionContext, execute, execute_to_list
+
+__all__ = [
+    "ENUMERABLE",
+    "Enumerable",
+    "EnumerableAggregate",
+    "EnumerableCorrelate",
+    "EnumerableFilter",
+    "EnumerableIntersect",
+    "EnumerableJoin",
+    "EnumerableMinus",
+    "EnumerableProject",
+    "EnumerableSort",
+    "EnumerableTableScan",
+    "EnumerableUnion",
+    "EnumerableValues",
+    "EnumerableWindow",
+    "ExecutionContext",
+    "enumerable_rules",
+    "execute",
+    "execute_to_list",
+]

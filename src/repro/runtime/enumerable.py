@@ -1,0 +1,279 @@
+"""LINQ4J-style language-integrated queries (Section 7.4).
+
+Calcite's LINQ4J "closely follows the convention set forth by
+Microsoft's LINQ".  :class:`Enumerable` is the Python equivalent: a
+lazy, fluent sequence abstraction whose operators mirror LINQ —
+``select``/``where``/``join``/``group_by``/``order_by``/… — and which
+the enumerable calling convention's physical operators are built on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+
+
+class Enumerable:
+    """A lazily-evaluated sequence with LINQ-style operators.
+
+    Wraps a *factory* of iterators so an Enumerable can be traversed
+    multiple times (as LINQ's ``IEnumerable`` can).
+    """
+
+    def __init__(self, source: Callable[[], Iterator[Any]]) -> None:
+        self._source = source
+
+    # -- construction ----------------------------------------------------
+    @staticmethod
+    def of(items: Iterable[Any]) -> "Enumerable":
+        materialised = items if isinstance(items, (list, tuple)) else list(items)
+        return Enumerable(lambda: iter(materialised))
+
+    @staticmethod
+    def empty() -> "Enumerable":
+        return Enumerable(lambda: iter(()))
+
+    @staticmethod
+    def range(start: int, count: int) -> "Enumerable":
+        return Enumerable(lambda: iter(range(start, start + count)))
+
+    def __iter__(self) -> Iterator[Any]:
+        return self._source()
+
+    # -- projection / restriction ----------------------------------------
+    def select(self, selector: Callable[[Any], Any]) -> "Enumerable":
+        return Enumerable(lambda: (selector(x) for x in self._source()))
+
+    def select_many(self, selector: Callable[[Any], Iterable[Any]]) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            for x in self._source():
+                yield from selector(x)
+        return Enumerable(gen)
+
+    def where(self, predicate: Callable[[Any], bool]) -> "Enumerable":
+        return Enumerable(lambda: (x for x in self._source() if predicate(x)))
+
+    # -- joins -------------------------------------------------------------
+    def join(self, inner: "Enumerable", outer_key: Callable[[Any], Any],
+             inner_key: Callable[[Any], Any],
+             result: Callable[[Any, Any], Any]) -> "Enumerable":
+        """Hash equi-join (the engine behind EnumerableJoin)."""
+        def gen() -> Iterator[Any]:
+            index: Dict[Any, List[Any]] = {}
+            for i in inner:
+                index.setdefault(inner_key(i), []).append(i)
+            for o in self._source():
+                for i in index.get(outer_key(o), ()):
+                    yield result(o, i)
+        return Enumerable(gen)
+
+    def left_join(self, inner: "Enumerable", outer_key: Callable[[Any], Any],
+                  inner_key: Callable[[Any], Any],
+                  result: Callable[[Any, Optional[Any]], Any]) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            index: Dict[Any, List[Any]] = {}
+            for i in inner:
+                index.setdefault(inner_key(i), []).append(i)
+            for o in self._source():
+                matches = index.get(outer_key(o), ())
+                if matches:
+                    for i in matches:
+                        yield result(o, i)
+                else:
+                    yield result(o, None)
+        return Enumerable(gen)
+
+    def group_join(self, inner: "Enumerable", outer_key: Callable[[Any], Any],
+                   inner_key: Callable[[Any], Any],
+                   result: Callable[[Any, List[Any]], Any]) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            index: Dict[Any, List[Any]] = {}
+            for i in inner:
+                index.setdefault(inner_key(i), []).append(i)
+            for o in self._source():
+                yield result(o, index.get(outer_key(o), []))
+        return Enumerable(gen)
+
+    def cartesian(self, inner: "Enumerable",
+                  result: Callable[[Any, Any], Any]) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            inner_rows = list(inner)
+            for o in self._source():
+                for i in inner_rows:
+                    yield result(o, i)
+        return Enumerable(gen)
+
+    # -- grouping / ordering -------------------------------------------------
+    def group_by(self, key: Callable[[Any], Any],
+                 result: Optional[Callable[[Any, List[Any]], Any]] = None) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            groups: "OrderedDict[Any, List[Any]]" = OrderedDict()
+            for x in self._source():
+                groups.setdefault(key(x), []).append(x)
+            for k, members in groups.items():
+                if result is None:
+                    yield (k, members)
+                else:
+                    yield result(k, members)
+        return Enumerable(gen)
+
+    def order_by(self, key: Callable[[Any], Any], descending: bool = False) -> "Enumerable":
+        return Enumerable(
+            lambda: iter(sorted(self._source(), key=key, reverse=descending)))
+
+    def reverse(self) -> "Enumerable":
+        return Enumerable(lambda: iter(list(self._source())[::-1]))
+
+    # -- partitioning -------------------------------------------------------
+    def take(self, count: int) -> "Enumerable":
+        return Enumerable(lambda: itertools.islice(self._source(), count))
+
+    def skip(self, count: int) -> "Enumerable":
+        return Enumerable(lambda: itertools.islice(self._source(), count, None))
+
+    def take_while(self, predicate: Callable[[Any], bool]) -> "Enumerable":
+        return Enumerable(lambda: itertools.takewhile(predicate, self._source()))
+
+    def skip_while(self, predicate: Callable[[Any], bool]) -> "Enumerable":
+        return Enumerable(lambda: itertools.dropwhile(predicate, self._source()))
+
+    # -- set operators ---------------------------------------------------------
+    def distinct(self) -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            seen = set()
+            for x in self._source():
+                if x not in seen:
+                    seen.add(x)
+                    yield x
+        return Enumerable(gen)
+
+    def concat(self, other: "Enumerable") -> "Enumerable":
+        return Enumerable(lambda: itertools.chain(self._source(), iter(other)))
+
+    def union(self, other: "Enumerable") -> "Enumerable":
+        return self.concat(other).distinct()
+
+    def intersect(self, other: "Enumerable") -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            other_set = set(other)
+            seen = set()
+            for x in self._source():
+                if x in other_set and x not in seen:
+                    seen.add(x)
+                    yield x
+        return Enumerable(gen)
+
+    def except_(self, other: "Enumerable") -> "Enumerable":
+        def gen() -> Iterator[Any]:
+            other_set = set(other)
+            seen = set()
+            for x in self._source():
+                if x not in other_set and x not in seen:
+                    seen.add(x)
+                    yield x
+        return Enumerable(gen)
+
+    def zip(self, other: "Enumerable",
+            result: Callable[[Any, Any], Any]) -> "Enumerable":
+        return Enumerable(
+            lambda: (result(a, b) for a, b in zip(self._source(), iter(other))))
+
+    # -- aggregation -------------------------------------------------------------
+    def aggregate(self, seed: Any, accumulate: Callable[[Any, Any], Any]) -> Any:
+        acc = seed
+        for x in self._source():
+            acc = accumulate(acc, x)
+        return acc
+
+    def count(self, predicate: Optional[Callable[[Any], bool]] = None) -> int:
+        if predicate is None:
+            return sum(1 for _ in self._source())
+        return sum(1 for x in self._source() if predicate(x))
+
+    def sum(self, selector: Optional[Callable[[Any], Any]] = None) -> Any:
+        values = self._source() if selector is None else (selector(x) for x in self._source())
+        total: Any = None
+        for v in values:
+            if v is None:
+                continue
+            total = v if total is None else total + v
+        return total
+
+    def min(self, selector: Optional[Callable[[Any], Any]] = None) -> Any:
+        values = [v for v in (self._source() if selector is None
+                              else (selector(x) for x in self._source())) if v is not None]
+        return min(values) if values else None
+
+    def max(self, selector: Optional[Callable[[Any], Any]] = None) -> Any:
+        values = [v for v in (self._source() if selector is None
+                              else (selector(x) for x in self._source())) if v is not None]
+        return max(values) if values else None
+
+    def average(self, selector: Optional[Callable[[Any], Any]] = None) -> Optional[float]:
+        values = [v for v in (self._source() if selector is None
+                              else (selector(x) for x in self._source())) if v is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    # -- element access ---------------------------------------------------------
+    def first(self, predicate: Optional[Callable[[Any], bool]] = None) -> Any:
+        for x in self._source():
+            if predicate is None or predicate(x):
+                return x
+        raise ValueError("sequence contains no matching element")
+
+    def first_or_default(self, default: Any = None,
+                         predicate: Optional[Callable[[Any], bool]] = None) -> Any:
+        for x in self._source():
+            if predicate is None or predicate(x):
+                return x
+        return default
+
+    def single(self) -> Any:
+        items = list(itertools.islice(self._source(), 2))
+        if len(items) != 1:
+            raise ValueError(f"sequence has {len(items)} elements, expected 1")
+        return items[0]
+
+    def element_at(self, index: int) -> Any:
+        for i, x in enumerate(self._source()):
+            if i == index:
+                return x
+        raise IndexError(index)
+
+    # -- quantifiers --------------------------------------------------------------
+    def any(self, predicate: Optional[Callable[[Any], bool]] = None) -> bool:
+        for x in self._source():
+            if predicate is None or predicate(x):
+                return True
+        return False
+
+    def all(self, predicate: Callable[[Any], bool]) -> bool:
+        return all(predicate(x) for x in self._source())
+
+    def contains(self, item: Any) -> bool:
+        return any(x == item for x in self._source())
+
+    # -- materialisation ------------------------------------------------------------
+    def to_list(self) -> List[Any]:
+        return list(self._source())
+
+    def to_dict(self, key: Callable[[Any], Any],
+                value: Optional[Callable[[Any], Any]] = None) -> Dict[Any, Any]:
+        return {key(x): (x if value is None else value(x)) for x in self._source()}

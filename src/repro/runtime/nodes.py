@@ -1,0 +1,246 @@
+"""Physical operators of the *enumerable* calling convention and the
+converter rules that move logical operators into it (Section 5).
+
+The enumerable convention is the client-side fallback: any adapter
+table that can at least be scanned can participate in arbitrary SQL,
+with filtering, sorting, joins and aggregation executed by Calcite
+itself over the iterator interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.rel import (
+    Aggregate,
+    Correlate,
+    Filter,
+    Intersect,
+    Join,
+    Minus,
+    Project,
+    RelNode,
+    Sort,
+    TableScan,
+    Union,
+    Values,
+    Window,
+)
+from ..core.rel import (
+    LogicalAggregate,
+    LogicalCorrelate,
+    LogicalFilter,
+    LogicalIntersect,
+    LogicalJoin,
+    LogicalMinus,
+    LogicalProject,
+    LogicalSort,
+    LogicalTableScan,
+    LogicalUnion,
+    LogicalValues,
+    LogicalWindow,
+)
+from ..core.rule import ConverterRule, RelOptRuleCall
+from ..core.traits import Convention, RelTraitSet
+
+ENUMERABLE = Convention.ENUMERABLE
+_ENUM_TRAITS = RelTraitSet(ENUMERABLE)
+
+
+class EnumerableTableScan(TableScan):
+    """Scan a table via its Python iterator interface."""
+
+    def __init__(self, table, traits: Optional[RelTraitSet] = None) -> None:
+        super().__init__(table, traits or RelTraitSet(ENUMERABLE, table.collation))
+
+
+class EnumerableFilter(Filter):
+    pass
+
+
+class EnumerableProject(Project):
+    pass
+
+
+class EnumerableJoin(Join):
+    """Joins by collecting rows from its children (hash or nested-loop)."""
+
+
+class EnumerableAggregate(Aggregate):
+    pass
+
+
+class EnumerableSort(Sort):
+    pass
+
+
+class EnumerableUnion(Union):
+    pass
+
+
+class EnumerableIntersect(Intersect):
+    pass
+
+
+class EnumerableMinus(Minus):
+    pass
+
+
+class EnumerableValues(Values):
+    pass
+
+
+class EnumerableWindow(Window):
+    pass
+
+
+class EnumerableCorrelate(Correlate):
+    pass
+
+
+def _enum_input(call: RelOptRuleCall, rel: RelNode) -> RelNode:
+    return call.convert_input(rel, _ENUM_TRAITS)
+
+
+class EnumerableTableScanRule(ConverterRule):
+    """Scans convert to enumerable when the table exposes ``scan()``."""
+
+    def __init__(self) -> None:
+        super().__init__(LogicalTableScan, Convention.NONE, ENUMERABLE,
+                         "EnumerableTableScanRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        source = rel.table.source
+        if source is None or not hasattr(source, "scan"):
+            return None
+        return EnumerableTableScan(rel.table)
+
+
+class EnumerableFilterRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalFilter, Convention.NONE, ENUMERABLE,
+                         "EnumerableFilterRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableFilter(_enum_input(call, rel.input), rel.condition,
+                                _ENUM_TRAITS)
+
+
+class EnumerableProjectRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalProject, Convention.NONE, ENUMERABLE,
+                         "EnumerableProjectRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableProject(_enum_input(call, rel.input), rel.projects,
+                                 rel.field_names, _ENUM_TRAITS)
+
+
+class EnumerableJoinRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalJoin, Convention.NONE, ENUMERABLE,
+                         "EnumerableJoinRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableJoin(
+            _enum_input(call, rel.left), _enum_input(call, rel.right),
+            rel.condition, rel.join_type, _ENUM_TRAITS)
+
+
+class EnumerableAggregateRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalAggregate, Convention.NONE, ENUMERABLE,
+                         "EnumerableAggregateRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableAggregate(_enum_input(call, rel.input), rel.group_set,
+                                   rel.agg_calls, _ENUM_TRAITS)
+
+
+class EnumerableSortRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalSort, Convention.NONE, ENUMERABLE,
+                         "EnumerableSortRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableSort(
+            _enum_input(call, rel.input), rel.collation, rel.offset, rel.fetch,
+            RelTraitSet(ENUMERABLE, rel.collation))
+
+
+class EnumerableUnionRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalUnion, Convention.NONE, ENUMERABLE,
+                         "EnumerableUnionRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableUnion([_enum_input(call, i) for i in rel.inputs],
+                               rel.all, _ENUM_TRAITS)
+
+
+class EnumerableIntersectRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalIntersect, Convention.NONE, ENUMERABLE,
+                         "EnumerableIntersectRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableIntersect([_enum_input(call, i) for i in rel.inputs],
+                                   rel.all, _ENUM_TRAITS)
+
+
+class EnumerableMinusRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalMinus, Convention.NONE, ENUMERABLE,
+                         "EnumerableMinusRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableMinus([_enum_input(call, i) for i in rel.inputs],
+                               rel.all, _ENUM_TRAITS)
+
+
+class EnumerableValuesRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalValues, Convention.NONE, ENUMERABLE,
+                         "EnumerableValuesRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableValues(rel.row_type, rel.tuples, _ENUM_TRAITS)
+
+
+class EnumerableWindowRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalWindow, Convention.NONE, ENUMERABLE,
+                         "EnumerableWindowRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableWindow(_enum_input(call, rel.input), rel.window_exprs,
+                                rel.field_names, _ENUM_TRAITS)
+
+
+class EnumerableCorrelateRule(ConverterRule):
+    def __init__(self) -> None:
+        super().__init__(LogicalCorrelate, Convention.NONE, ENUMERABLE,
+                         "EnumerableCorrelateRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        return EnumerableCorrelate(
+            _enum_input(call, rel.left), _enum_input(call, rel.right),
+            rel.correlation_id, rel.required_columns, rel.join_type, _ENUM_TRAITS)
+
+
+def enumerable_rules():
+    """Converter rules from the logical to the enumerable convention."""
+    return [
+        EnumerableTableScanRule(),
+        EnumerableFilterRule(),
+        EnumerableProjectRule(),
+        EnumerableJoinRule(),
+        EnumerableAggregateRule(),
+        EnumerableSortRule(),
+        EnumerableUnionRule(),
+        EnumerableIntersectRule(),
+        EnumerableMinusRule(),
+        EnumerableValuesRule(),
+        EnumerableWindowRule(),
+        EnumerableCorrelateRule(),
+    ]

@@ -1,0 +1,626 @@
+"""Physical execution of operator trees over iterators (Section 5).
+
+"Relational operators with the enumerable calling convention simply
+operate over tuples via an iterator interface.  This calling convention
+allows Calcite to implement operators which may not be available in
+each adapter's backend.  For example, the EnumerableJoin operator
+implements joins by collecting rows from its child nodes and joining on
+the desired attributes."
+
+:func:`execute` interprets any operator tree: adapter-specific physical
+nodes provide ``execute_rows``; everything else falls back to the
+built-in enumerable implementations here.  Rows are Python tuples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.rel import (
+    Aggregate,
+    AggregateCall,
+    Converter,
+    Correlate,
+    Delta,
+    Filter,
+    Intersect,
+    Join,
+    JoinRelType,
+    Minus,
+    Project,
+    RelNode,
+    Sort,
+    TableScan,
+    Union,
+    Values,
+    Window,
+)
+from ..core.rex import RexNode, RexOver, RexSubQuery, SqlKind
+from ..core.rex_eval import EvalContext, RexExecutionError, evaluate
+
+
+class ExecutionContext:
+    """Runtime state: statement parameters and execution statistics."""
+
+    def __init__(self, parameters: Sequence[Any] = ()) -> None:
+        self.parameters = list(parameters)
+        self.rows_scanned = 0
+        self.rows_emitted = 0
+
+    def eval_context(self, correlations: Optional[Dict[str, tuple]] = None) -> EvalContext:
+        return EvalContext(self.parameters, correlations, self._run_subquery)
+
+    def _run_subquery(self, subquery: RexSubQuery, row: tuple,
+                      eval_ctx: EvalContext) -> Any:
+        # Bind any correlation variables in the subquery to the row
+        # currently being evaluated (one level of correlation).
+        bound = _bind_correlation(subquery.rel, None, row)
+        rows = list(execute(bound, self))
+        if subquery.kind is SqlKind.EXISTS:
+            return bool(rows)
+        if subquery.kind is SqlKind.IN:
+            values = tuple(evaluate(o, row, eval_ctx) for o in subquery.operands)
+            if any(v is None for v in values):
+                return None
+            flat = values[0] if len(values) == 1 else values
+            saw_null = False
+            for r in rows:
+                candidate = r[0] if len(r) == 1 else r
+                if candidate is None:
+                    saw_null = True
+                elif candidate == flat:
+                    return True
+            return None if saw_null else False
+        # scalar subquery
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise RexExecutionError("scalar subquery returned more than one row")
+        return rows[0][0]
+
+
+def execute(rel: RelNode, context: Optional[ExecutionContext] = None) -> Iterator[tuple]:
+    """Execute an operator tree, yielding result rows as tuples."""
+    if context is None:
+        context = ExecutionContext()
+    return _execute(rel, context)
+
+
+def execute_to_list(rel: RelNode, context: Optional[ExecutionContext] = None) -> List[tuple]:
+    return list(execute(rel, context))
+
+
+def _execute(rel: RelNode, ctx: ExecutionContext) -> Iterator[tuple]:
+    # Adapter-provided physical operators execute themselves.
+    runner = getattr(rel, "execute_rows", None)
+    if runner is not None:
+        return iter(runner(ctx))
+    if isinstance(rel, TableScan):
+        return _scan(rel, ctx)
+    if isinstance(rel, Filter):
+        return _filter(rel, ctx)
+    if isinstance(rel, Project):
+        return _project(rel, ctx)
+    if isinstance(rel, Join):
+        return _join(rel, ctx)
+    if isinstance(rel, Correlate):
+        return _correlate(rel, ctx)
+    if isinstance(rel, Aggregate):
+        return _aggregate(rel, ctx)
+    if isinstance(rel, Sort):
+        return _sort(rel, ctx)
+    if isinstance(rel, Union):
+        return _union(rel, ctx)
+    if isinstance(rel, Intersect):
+        return _intersect(rel, ctx)
+    if isinstance(rel, Minus):
+        return _minus(rel, ctx)
+    if isinstance(rel, Values):
+        return iter([tuple(lit.value for lit in row) for row in rel.tuples])
+    if isinstance(rel, Window):
+        return _window(rel, ctx)
+    if isinstance(rel, (Converter, Delta)):
+        return _execute(rel.input, ctx)
+    # Volcano subsets reaching execution indicate an unextracted plan.
+    raise TypeError(f"cannot execute {rel.rel_name}")
+
+
+# ---------------------------------------------------------------------------
+# Operator implementations
+# ---------------------------------------------------------------------------
+
+def _scan(rel: TableScan, ctx: ExecutionContext) -> Iterator[tuple]:
+    source = rel.table.source
+    if source is None:
+        raise ValueError(f"table {rel.table.name} has no backing source")
+    for row in source.scan():
+        ctx.rows_scanned += 1
+        yield tuple(row)
+
+
+def _filter(rel: Filter, ctx: ExecutionContext) -> Iterator[tuple]:
+    eval_ctx = ctx.eval_context()
+    for row in _execute(rel.input, ctx):
+        if evaluate(rel.condition, row, eval_ctx) is True:
+            yield row
+
+
+def _project(rel: Project, ctx: ExecutionContext) -> Iterator[tuple]:
+    eval_ctx = ctx.eval_context()
+    exprs = rel.projects
+    for row in _execute(rel.input, ctx):
+        yield tuple(evaluate(e, row, eval_ctx) for e in exprs)
+
+
+def _join(rel: Join, ctx: ExecutionContext) -> Iterator[tuple]:
+    info = rel.analyze_condition()
+    if info.left_keys and not info.non_equi:
+        return _hash_join(rel, info.left_keys, info.right_keys, ctx)
+    if info.left_keys:
+        return _hash_join(rel, info.left_keys, info.right_keys, ctx,
+                          residual=rel.condition)
+    return _nested_loop_join(rel, ctx)
+
+
+def _hash_join(rel: Join, left_keys: List[int], right_keys: List[int],
+               ctx: ExecutionContext,
+               residual: Optional[RexNode] = None) -> Iterator[tuple]:
+    eval_ctx = ctx.eval_context()
+    index: Dict[tuple, List[tuple]] = {}
+    right_rows_matched: set = set()
+    right_rows: List[tuple] = []
+    for r in _execute(rel.right, ctx):
+        right_rows.append(r)
+        key = tuple(r[k] for k in right_keys)
+        if any(v is None for v in key):
+            continue  # NULL keys never match
+        index.setdefault(key, []).append(r)
+
+    join_type = rel.join_type
+    n_right = rel.right.row_type.field_count
+    null_right = (None,) * n_right
+
+    for l in _execute(rel.left, ctx):
+        key = tuple(l[k] for k in left_keys)
+        matches = [] if any(v is None for v in key) else index.get(key, [])
+        if residual is not None:
+            matches = [r for r in matches
+                       if evaluate(residual, l + r, eval_ctx) is True]
+        if join_type is JoinRelType.SEMI:
+            if matches:
+                yield l
+            continue
+        if join_type is JoinRelType.ANTI:
+            if not matches:
+                yield l
+            continue
+        if matches:
+            for r in matches:
+                if join_type in (JoinRelType.RIGHT, JoinRelType.FULL):
+                    right_rows_matched.add(id(r))
+                yield l + r
+        elif join_type in (JoinRelType.LEFT, JoinRelType.FULL):
+            yield l + null_right
+    if join_type in (JoinRelType.RIGHT, JoinRelType.FULL):
+        n_left = rel.left.row_type.field_count
+        null_left = (None,) * n_left
+        for r in right_rows:
+            if id(r) not in right_rows_matched:
+                yield null_left + r
+
+
+def _nested_loop_join(rel: Join, ctx: ExecutionContext) -> Iterator[tuple]:
+    eval_ctx = ctx.eval_context()
+    right_rows = list(_execute(rel.right, ctx))
+    join_type = rel.join_type
+    n_right = rel.right.row_type.field_count
+    n_left = rel.left.row_type.field_count
+    null_right = (None,) * n_right
+    right_matched = [False] * len(right_rows)
+    for l in _execute(rel.left, ctx):
+        matched = False
+        for idx, r in enumerate(right_rows):
+            if evaluate(rel.condition, l + r, eval_ctx) is True:
+                matched = True
+                right_matched[idx] = True
+                if join_type is JoinRelType.SEMI:
+                    break
+                if join_type is not JoinRelType.ANTI:
+                    yield l + r
+        if join_type is JoinRelType.SEMI and matched:
+            yield l
+        elif join_type is JoinRelType.ANTI and not matched:
+            yield l
+        elif not matched and join_type in (JoinRelType.LEFT, JoinRelType.FULL):
+            yield l + null_right
+    if join_type in (JoinRelType.RIGHT, JoinRelType.FULL):
+        null_left = (None,) * n_left
+        for idx, r in enumerate(right_rows):
+            if not right_matched[idx]:
+                yield null_left + r
+
+
+class _CorrelShuttle:
+    pass
+
+
+def _correlate(rel: Correlate, ctx: ExecutionContext) -> Iterator[tuple]:
+    from ..core.rex import RexCorrelVariable, RexShuttle
+
+    n_right = rel.right.row_type.field_count
+    null_right = (None,) * n_right
+
+    for l in _execute(rel.left, ctx):
+        left_row = l
+
+        class Binder(RexShuttle):
+            def visit_RexCorrelVariable(self, node: RexCorrelVariable):
+                from ..core import rex as rexmod
+                # Correlation variables resolve to the left row's fields
+                # through field access; represent the whole row.
+                return rexmod.literal(left_row, node.type)
+
+        # Re-execute the right side with the correlation bound.
+        bound = _bind_correlation(rel.right, rel.correlation_id, left_row)
+        matched = False
+        for r in _execute(bound, ctx):
+            matched = True
+            if rel.join_type.projects_right:
+                yield l + r
+            else:
+                yield l
+                break
+        if not matched and rel.join_type is JoinRelType.LEFT:
+            yield l + null_right
+        elif not matched and rel.join_type is JoinRelType.ANTI:
+            yield l
+
+
+def _bind_correlation(rel: RelNode, correlation_id: Optional[str],
+                      row: tuple) -> RelNode:
+    """Substitute a correlation variable with the current outer row.
+
+    ``correlation_id=None`` binds *any* correlation variable (used for
+    correlated subqueries, which correlate with exactly the enclosing
+    query in this implementation).
+    """
+    from ..core.rel import RelShuttle
+    from ..core.rex import RexCorrelVariable, RexFieldAccess, RexShuttle
+    from ..core import rex as rexmod
+
+    class RexBinder(RexShuttle):
+        def visit_RexFieldAccess(self, node: RexFieldAccess):
+            expr = node.expr
+            if isinstance(expr, RexCorrelVariable) and (
+                    correlation_id is None or expr.name == correlation_id):
+                struct = expr.type
+                f = struct.field_by_name(node.field_name)
+                value = row[f.index] if f is not None else None
+                return rexmod.literal(value, node.type)
+            inner = self.apply(node.expr)
+            if inner is node.expr:
+                return node
+            return RexFieldAccess(inner, node.field_name, node.type)
+
+    binder = RexBinder()
+
+    class TreeBinder(RelShuttle):
+        def visit(self, r: RelNode) -> RelNode:
+            new_inputs = [self.visit(i) for i in r.inputs]
+            if any(a is not b for a, b in zip(new_inputs, r.inputs)):
+                r = r.copy(inputs=new_inputs)
+            if isinstance(r, Filter):
+                new_cond = binder.apply(r.condition)
+                if new_cond is not r.condition:
+                    r = r.with_condition(new_cond)
+            elif isinstance(r, Project):
+                new_projects = binder.apply_all(r.projects)
+                if any(a is not b for a, b in zip(new_projects, r.projects)):
+                    r = type(r)(r.input, new_projects, r.field_names, r.traits)
+            elif isinstance(r, Join):
+                new_cond = binder.apply(r.condition)
+                if new_cond is not r.condition:
+                    r = r.with_condition(new_cond)
+            return r
+
+    return TreeBinder().visit(rel)
+
+
+# -- aggregation --------------------------------------------------------------
+
+class _Accumulator:
+    """Accumulates one aggregate call over the rows of a group."""
+
+    def __init__(self, call: AggregateCall) -> None:
+        self.call = call
+        self.kind = call.op.kind
+        self.count = 0
+        self.total: Any = None
+        self.best: Any = None
+        self.items: List[Any] = []
+        self.distinct_seen: set = set()
+
+    def add(self, row: tuple) -> None:
+        call = self.call
+        if call.filter_arg is not None and row[call.filter_arg] is not True:
+            return
+        if not call.args:  # COUNT(*)
+            self.count += 1
+            return
+        values = tuple(row[a] for a in call.args)
+        if any(v is None for v in values):
+            return
+        value = values[0] if len(values) == 1 else values
+        if call.distinct:
+            if value in self.distinct_seen:
+                return
+            self.distinct_seen.add(value)
+        self.count += 1
+        kind = self.kind
+        if kind in (SqlKind.SUM, SqlKind.SUM0, SqlKind.AVG):
+            self.total = value if self.total is None else self.total + value
+        elif kind is SqlKind.MIN:
+            self.best = value if self.best is None else min(self.best, value)
+        elif kind is SqlKind.MAX:
+            self.best = value if self.best is None else max(self.best, value)
+        elif kind in (SqlKind.COLLECT, SqlKind.SINGLE_VALUE):
+            self.items.append(value)
+
+    def result(self) -> Any:
+        kind = self.kind
+        if kind is SqlKind.COUNT:
+            return self.count
+        if kind is SqlKind.SUM:
+            return self.total
+        if kind is SqlKind.SUM0:
+            return self.total if self.total is not None else 0
+        if kind is SqlKind.AVG:
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        if kind in (SqlKind.MIN, SqlKind.MAX):
+            return self.best
+        if kind is SqlKind.COLLECT:
+            return list(self.items)
+        if kind is SqlKind.SINGLE_VALUE:
+            if len(self.items) > 1:
+                raise RexExecutionError("SINGLE_VALUE saw more than one row")
+            return self.items[0] if self.items else None
+        raise RexExecutionError(f"unsupported aggregate {self.call.op.name}")
+
+
+def _aggregate(rel: Aggregate, ctx: ExecutionContext) -> Iterator[tuple]:
+    groups: "OrderedDict[tuple, List[_Accumulator]]" = OrderedDict()
+    group_set = rel.group_set
+    for row in _execute(rel.input, ctx):
+        key = tuple(row[g] for g in group_set)
+        if key not in groups:
+            groups[key] = [_Accumulator(c) for c in rel.agg_calls]
+        for acc in groups[key]:
+            acc.add(row)
+    if not groups and not group_set:
+        # Global aggregate over empty input still yields one row.
+        accs = [_Accumulator(c) for c in rel.agg_calls]
+        yield tuple(a.result() for a in accs)
+        return
+    for key, accs in groups.items():
+        yield key + tuple(a.result() for a in accs)
+
+
+def _sort(rel: Sort, ctx: ExecutionContext) -> Iterator[tuple]:
+    rows = list(_execute(rel.input, ctx))
+    rows = sort_rows(rows, rel.collation)
+    if rel.offset:
+        rows = rows[rel.offset:]
+    if rel.fetch is not None:
+        rows = rows[: rel.fetch]
+    return iter(rows)
+
+
+class _NullsKey:
+    """Ordering wrapper placing NULLs according to the collation."""
+
+    __slots__ = ("value", "nulls_big")
+
+    def __init__(self, value: Any, nulls_big: bool) -> None:
+        self.value = value
+        self.nulls_big = nulls_big
+
+    def __lt__(self, other: "_NullsKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.nulls_big
+        if b is None:
+            return self.nulls_big
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullsKey) and self.value == other.value
+
+
+def sort_rows(rows: List[tuple], collation) -> List[tuple]:
+    """Stable multi-key sort honouring direction and null placement."""
+    for fc in reversed(collation.field_collations):
+        # NULLS LAST ascending / NULLS FIRST descending ⇔ NULL is "big"
+        nulls_big = fc.descending == fc.nulls_first
+        rows = sorted(
+            rows,
+            key=lambda r: _NullsKey(r[fc.field_index], nulls_big),
+            reverse=fc.descending,
+        )
+    return rows
+
+
+def _union(rel: Union, ctx: ExecutionContext) -> Iterator[tuple]:
+    if rel.all:
+        for i in rel.inputs:
+            yield from _execute(i, ctx)
+        return
+    seen = set()
+    for i in rel.inputs:
+        for row in _execute(i, ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+def _intersect(rel: Intersect, ctx: ExecutionContext) -> Iterator[tuple]:
+    sets = [set(_execute(i, ctx)) for i in rel.inputs[1:]]
+    seen = set()
+    for row in _execute(rel.inputs[0], ctx):
+        if row in seen:
+            continue
+        if all(row in s for s in sets):
+            seen.add(row)
+            yield row
+
+
+def _minus(rel: Minus, ctx: ExecutionContext) -> Iterator[tuple]:
+    exclude = set()
+    for i in rel.inputs[1:]:
+        exclude |= set(_execute(i, ctx))
+    seen = set()
+    for row in _execute(rel.inputs[0], ctx):
+        if row not in exclude and row not in seen:
+            seen.add(row)
+            yield row
+
+
+# -- window evaluation (Section 4's window operator) --------------------------
+
+def _window(rel: Window, ctx: ExecutionContext) -> Iterator[tuple]:
+    rows = list(_execute(rel.input, ctx))
+    eval_ctx = ctx.eval_context()
+    extra_columns: List[List[Any]] = []
+    for over in rel.window_exprs:
+        assert isinstance(over, RexOver)
+        extra_columns.append(_evaluate_over(over, rows, eval_ctx))
+    for i, row in enumerate(rows):
+        yield row + tuple(col[i] for col in extra_columns)
+
+
+def _evaluate_over(over: RexOver, rows: List[tuple],
+                   eval_ctx: EvalContext) -> List[Any]:
+    """Evaluate one windowed aggregate for every input row."""
+    results: List[Any] = [None] * len(rows)
+    # Partition.
+    partitions: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for idx, row in enumerate(rows):
+        key = tuple(evaluate(k, row, eval_ctx) for k in over.partition_keys)
+        partitions.setdefault(key, []).append(idx)
+    for indices in partitions.values():
+        # Order within the partition.
+        if over.order_keys:
+            def sort_key(i: int):
+                return tuple(
+                    _NullsKey(evaluate(k, rows[i], eval_ctx), nulls_big=not desc)
+                    for k, desc in over.order_keys)
+            # simple handling: single overall ascending/descending per key
+            ordered = indices
+            for k, desc in reversed(over.order_keys):
+                ordered = sorted(
+                    ordered,
+                    key=lambda i: _NullsKey(evaluate(k, rows[i], eval_ctx), True),
+                    reverse=desc)
+        else:
+            ordered = list(indices)
+        for pos, row_idx in enumerate(ordered):
+            frame = _frame_rows(over, ordered, pos, rows, eval_ctx)
+            results[row_idx] = _apply_window_agg(over, [rows[i] for i in frame],
+                                                 rows[row_idx], eval_ctx)
+    return results
+
+
+def _frame_rows(over: RexOver, ordered: List[int], pos: int,
+                rows: List[tuple], eval_ctx: EvalContext) -> List[int]:
+    n = len(ordered)
+    if over.rows:
+        lo = _row_bound(over.lower, pos, n, eval_ctx, rows, is_lower=True)
+        hi = _row_bound(over.upper, pos, n, eval_ctx, rows, is_lower=False)
+        lo = max(lo, 0)
+        hi = min(hi, n - 1)
+        if lo > hi:
+            return []
+        return ordered[lo: hi + 1]
+    # RANGE frame over the first order key (covers the paper's
+    # "RANGE INTERVAL '1' HOUR PRECEDING" sliding windows).
+    if not over.order_keys:
+        return list(ordered)
+    key_expr, _desc = over.order_keys[0]
+    current = evaluate(key_expr, rows[ordered[pos]], eval_ctx)
+    lo_val, hi_val = None, current
+    if over.lower.bound_kind == "PRECEDING" and over.lower.offset is not None:
+        delta = evaluate(over.lower.offset, rows[ordered[pos]], eval_ctx)
+        lo_val = current - delta
+    elif over.lower.bound_kind == "CURRENT_ROW":
+        lo_val = current
+    if over.upper.bound_kind == "UNBOUNDED_FOLLOWING":
+        hi_val = None
+    elif over.upper.bound_kind == "FOLLOWING" and over.upper.offset is not None:
+        delta = evaluate(over.upper.offset, rows[ordered[pos]], eval_ctx)
+        hi_val = current + delta
+    out = []
+    for i in ordered:
+        v = evaluate(key_expr, rows[i], eval_ctx)
+        if v is None:
+            continue
+        if lo_val is not None and v < lo_val:
+            continue
+        if hi_val is not None and v > hi_val:
+            continue
+        out.append(i)
+    return out
+
+
+def _row_bound(bound, pos: int, n: int, eval_ctx: EvalContext,
+               rows: List[tuple], is_lower: bool) -> int:
+    kind = bound.bound_kind
+    if kind == "UNBOUNDED_PRECEDING":
+        return 0
+    if kind == "UNBOUNDED_FOLLOWING":
+        return n - 1
+    if kind == "CURRENT_ROW":
+        return pos
+    offset = evaluate(bound.offset, (), eval_ctx) if bound.offset is not None else 0
+    if kind == "PRECEDING":
+        return pos - int(offset)
+    return pos + int(offset)
+
+
+def _apply_window_agg(over: RexOver, frame_rows: List[tuple],
+                      current_row: tuple, eval_ctx: EvalContext) -> Any:
+    kind = over.op.kind
+    name = over.op.name.upper()
+    if name == "ROW_NUMBER":
+        # frame is unused: ROW_NUMBER counts position; emulate via frame
+        return len(frame_rows)
+    values: List[Any] = []
+    for row in frame_rows:
+        if over.operands:
+            v = evaluate(over.operands[0], row, eval_ctx)
+            if v is not None:
+                values.append(v)
+        else:
+            values.append(1)
+    if kind is SqlKind.COUNT:
+        return len(values)
+    if kind in (SqlKind.SUM, SqlKind.SUM0):
+        if not values:
+            return 0 if kind is SqlKind.SUM0 else None
+        total = values[0]
+        for v in values[1:]:
+            total += v
+        return total
+    if kind is SqlKind.AVG:
+        if not values:
+            return None
+        return sum(values) / len(values)
+    if kind is SqlKind.MIN:
+        return min(values) if values else None
+    if kind is SqlKind.MAX:
+        return max(values) if values else None
+    raise RexExecutionError(f"window aggregate {over.op.name} not supported")

@@ -1,0 +1,5 @@
+"""Schemas, tables, statistics and JSON models (Section 5, Figure 3)."""
+
+from .core import Catalog, MemoryTable, Schema, Statistic, Table, ViewTable
+
+__all__ = ["Catalog", "MemoryTable", "Schema", "Statistic", "Table", "ViewTable"]

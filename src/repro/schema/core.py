@@ -1,0 +1,206 @@
+"""Schemas, tables and statistics (Section 5, Figure 3).
+
+An adapter consists of a *model* (physical properties of the data
+source), a *schema* (the definition of the data found in the model) and
+a *schema factory* (acquires metadata from the model and generates the
+schema).  Data is physically accessed via *tables*.
+
+This module holds the engine-independent pieces; adapters subclass
+:class:`Table` and register planner rules through :class:`Schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.rel import RelOptTable
+from ..core.traits import RelCollation
+from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+class Statistic:
+    """Table statistics the optimizer's metadata providers consume."""
+
+    def __init__(self, row_count: float = 100.0,
+                 unique_keys: Sequence[Sequence[int]] = (),
+                 collation: RelCollation = RelCollation.EMPTY) -> None:
+        self.row_count = row_count
+        self.unique_keys = [frozenset(k) for k in unique_keys]
+        self.collation = collation
+
+
+class Table:
+    """A queryable table exposed by an adapter.
+
+    The minimal contract (the paper's "minimal interface that an
+    adapter must implement") is :meth:`scan`; with just that, the
+    enumerable convention can answer arbitrary SQL over the table.
+    """
+
+    def __init__(self, name: str, row_type: RelDataType,
+                 statistic: Optional[Statistic] = None) -> None:
+        self.name = name
+        self.row_type = row_type
+        self.statistic = statistic or Statistic()
+
+    def scan(self) -> Iterable[tuple]:
+        raise NotImplementedError
+
+    #: adapters may set this to create their own physical scan node
+    scan_factory: Optional[Callable[[RelOptTable], Any]] = None
+
+
+class MemoryTable(Table):
+    """An in-memory list-of-tuples table (the simplest adapter)."""
+
+    def __init__(self, name: str, field_names: Sequence[str],
+                 field_types: Sequence[RelDataType],
+                 rows: Optional[List[tuple]] = None,
+                 statistic: Optional[Statistic] = None) -> None:
+        row_type = _F.struct(field_names, field_types)
+        self.rows: List[tuple] = [tuple(r) for r in (rows or [])]
+        if statistic is None:
+            statistic = Statistic(row_count=float(len(self.rows)))
+        super().__init__(name, row_type, statistic)
+
+    def scan(self) -> Iterable[tuple]:
+        return iter(self.rows)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        self.rows.append(tuple(row))
+        self.statistic.row_count = float(len(self.rows))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+
+class ViewTable(Table):
+    """A view: a named query expanded during SQL-to-rel conversion."""
+
+    def __init__(self, name: str, sql: str, row_type: Optional[RelDataType] = None) -> None:
+        # The row type is resolved lazily once the view SQL is planned.
+        super().__init__(name, row_type or _F.struct([], []))
+        self.sql = sql
+        self._resolved_rel = None
+
+    def scan(self) -> Iterable[tuple]:  # pragma: no cover - views expand in planning
+        raise NotImplementedError("views are expanded during planning")
+
+
+class Schema:
+    """A namespace of tables, views, sub-schemas and planner rules."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.subschemas: Dict[str, "Schema"] = {}
+        #: planner rules contributed by this adapter (Figure 3: "Rules")
+        self.rules: List[Any] = []
+        #: materialized views registered against this schema
+        self.materializations: List[Any] = []
+        #: lattices (Section 6) declared over this schema's star tables
+        self.lattices: List[Any] = []
+
+    def add_table(self, table: Table) -> Table:
+        self.tables[table.name.upper()] = table
+        return table
+
+    def add_subschema(self, schema: "Schema") -> "Schema":
+        self.subschemas[schema.name.upper()] = schema
+        return schema
+
+    def add_rule(self, rule: Any) -> None:
+        self.rules.append(rule)
+
+    def table(self, name: str) -> Optional[Table]:
+        return self.tables.get(name.upper())
+
+    def subschema(self, name: str) -> Optional["Schema"]:
+        return self.subschemas.get(name.upper())
+
+    def all_rules(self) -> List[Any]:
+        rules = list(self.rules)
+        for sub in self.subschemas.values():
+            rules.extend(sub.all_rules())
+        return rules
+
+    def all_materializations(self) -> List[Any]:
+        out = list(self.materializations)
+        for sub in self.subschemas.values():
+            out.extend(sub.all_materializations())
+        return out
+
+    def all_lattices(self) -> List[Any]:
+        out = list(self.lattices)
+        for sub in self.subschemas.values():
+            out.extend(sub.all_lattices())
+        return out
+
+
+class Catalog:
+    """Root of the schema tree; resolves names to optimizer tables."""
+
+    def __init__(self, root: Optional[Schema] = None) -> None:
+        self.root = root or Schema("")
+        self._opt_tables: Dict[int, RelOptTable] = {}
+        #: schema search path for unqualified names
+        self.default_path: List[str] = []
+
+    def add_schema(self, schema: Schema) -> Schema:
+        return self.root.add_subschema(schema)
+
+    def resolve_schema(self, path: Sequence[str]) -> Optional[Schema]:
+        schema = self.root
+        for part in path:
+            schema = schema.subschema(part)
+            if schema is None:
+                return None
+        return schema
+
+    def find_table(self, names: Sequence[str]) -> Optional[Tuple[Table, Tuple[str, ...]]]:
+        """Resolve a (possibly qualified) table name to a Table."""
+        names = list(names)
+        candidates: List[List[str]] = [names]
+        if len(names) == 1 and self.default_path:
+            candidates.insert(0, self.default_path + names)
+        for cand in candidates:
+            schema = self.resolve_schema(cand[:-1])
+            if schema is None:
+                continue
+            table = schema.table(cand[-1])
+            if table is not None:
+                return table, tuple(cand)
+        # search one level deep for unqualified names
+        if len(names) == 1:
+            for sub_name, sub in self.root.subschemas.items():
+                table = sub.table(names[0])
+                if table is not None:
+                    return table, (sub_name, names[0])
+        return None
+
+    def resolve_table(self, names: Sequence[str]) -> Optional[RelOptTable]:
+        """Resolve to a (cached) :class:`RelOptTable` for the planner."""
+        found = self.find_table(names)
+        if found is None:
+            return None
+        table, qualified = found
+        key = id(table)
+        if key not in self._opt_tables:
+            stat = table.statistic
+            self._opt_tables[key] = RelOptTable(
+                qualified, table.row_type, source=table,
+                row_count=stat.row_count, unique_keys=stat.unique_keys,
+                collation=stat.collation, scan_factory=table.scan_factory)
+        return self._opt_tables[key]
+
+    def all_rules(self) -> List[Any]:
+        return self.root.all_rules()
+
+    def all_materializations(self) -> List[Any]:
+        return self.root.all_materializations()
+
+    def all_lattices(self) -> List[Any]:
+        return self.root.all_lattices()

@@ -1,0 +1,127 @@
+"""JSON model files (Figure 3: model → schema factory → schema).
+
+A *model* is a JSON document describing data sources; schema factories
+turn each entry into a live schema.  This mirrors Calcite's
+``model.json`` mechanism::
+
+    {
+      "version": "1.0",
+      "defaultSchema": "SALES",
+      "schemas": [
+        {"name": "SALES", "type": "custom", "factory": "csv",
+         "operand": {"directory": "data/sales"}},
+        {"name": "HR", "type": "map",
+         "tables": [{"name": "emps",
+                     "columns": [{"name": "empid", "type": "int"}],
+                     "rows": [[100]]}]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from .core import Catalog, MemoryTable, Schema, ViewTable
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+class ModelError(Exception):
+    pass
+
+
+#: registered schema factories: name → callable(name, operand) -> Schema
+SCHEMA_FACTORIES: Dict[str, Callable[[str, dict], Schema]] = {}
+
+
+def register_schema_factory(name: str,
+                            factory: Callable[[str, dict], Schema]) -> None:
+    SCHEMA_FACTORIES[name.lower()] = factory
+
+
+def _csv_factory(name: str, operand: dict) -> Schema:
+    from ..adapters.csv_adapter import CsvSchema
+    directory = operand.get("directory")
+    if not directory:
+        raise ModelError("csv factory needs an 'directory' operand")
+    return CsvSchema(name, directory)
+
+
+register_schema_factory("csv", _csv_factory)
+
+_COLUMN_TYPES = {
+    "int": _F.integer(),
+    "integer": _F.integer(),
+    "bigint": _F.bigint(),
+    "double": _F.double(),
+    "float": _F.double(),
+    "varchar": _F.varchar(),
+    "string": _F.varchar(),
+    "boolean": _F.boolean(),
+    "timestamp": _F.timestamp(),
+    "any": _F.any(),
+}
+
+
+def _column_type(name: str) -> RelDataType:
+    try:
+        return _COLUMN_TYPES[name.lower()]
+    except KeyError:
+        raise ModelError(f"unknown column type {name!r}")
+
+
+def load_model(source: str) -> Catalog:
+    """Build a catalog from a model JSON string or file path."""
+    if source.strip().startswith("{"):
+        model = json.loads(source)
+    else:
+        with open(source) as handle:
+            model = json.load(handle)
+    return build_catalog(model)
+
+
+def build_catalog(model: dict) -> Catalog:
+    catalog = Catalog()
+    for spec in model.get("schemas", []):
+        schema = _build_schema(spec)
+        catalog.add_schema(schema)
+    default = model.get("defaultSchema")
+    if default:
+        catalog.default_path = [default]
+    return catalog
+
+
+def _build_schema(spec: dict) -> Schema:
+    name = spec.get("name")
+    if not name:
+        raise ModelError("schema entry needs a name")
+    schema_type = spec.get("type", "map")
+    if schema_type == "custom":
+        factory_name = spec.get("factory", "")
+        factory = SCHEMA_FACTORIES.get(factory_name.lower())
+        if factory is None:
+            raise ModelError(f"unknown schema factory {factory_name!r}")
+        schema = factory(name, spec.get("operand", {}))
+    elif schema_type == "map":
+        schema = Schema(name)
+        for table_spec in spec.get("tables", []):
+            schema.add_table(_build_table(table_spec))
+    else:
+        raise ModelError(f"unknown schema type {schema_type!r}")
+    for view_spec in spec.get("views", []):
+        schema.add_table(ViewTable(view_spec["name"], view_spec["sql"]))
+    return schema
+
+
+def _build_table(spec: dict) -> MemoryTable:
+    name = spec.get("name")
+    if not name:
+        raise ModelError("table entry needs a name")
+    columns = spec.get("columns", [])
+    field_names = [c["name"] for c in columns]
+    field_types = [_column_type(c.get("type", "any")) for c in columns]
+    rows = [tuple(r) for r in spec.get("rows", [])]
+    return MemoryTable(name, field_names, field_types, rows)

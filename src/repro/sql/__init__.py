@@ -1,0 +1,27 @@
+"""SQL front end: parser, validator/converter, dialects, unparser."""
+
+from .ast import SqlNode, SqlQuery, SqlSelect
+from .dialect import DIALECTS, SqlDialect, dialect_for
+from .lexer import SqlLexError, Token, tokenize
+from .parser import SqlParseError, parse, parse_expression
+from .to_rel import SqlToRelConverter, ValidationError
+from .unparser import RelToSqlConverter, rel_to_sql
+
+__all__ = [
+    "DIALECTS",
+    "RelToSqlConverter",
+    "SqlDialect",
+    "SqlLexError",
+    "SqlNode",
+    "SqlParseError",
+    "SqlQuery",
+    "SqlSelect",
+    "SqlToRelConverter",
+    "Token",
+    "ValidationError",
+    "dialect_for",
+    "parse",
+    "parse_expression",
+    "rel_to_sql",
+    "tokenize",
+]

@@ -1,0 +1,314 @@
+"""SQL abstract syntax tree.
+
+The parser produces these nodes; the validator/converter walks them.
+Node naming follows Calcite's ``SqlNode`` hierarchy where practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+class SqlNode:
+    """Base class of all SQL syntax nodes."""
+
+
+@dataclass
+class SqlIdentifier(SqlNode):
+    """A possibly-qualified name: ``a``, ``s.t``, ``t.*``."""
+
+    names: List[str]
+
+    @property
+    def is_star(self) -> bool:
+        return self.names[-1] == "*"
+
+    @property
+    def simple(self) -> str:
+        return self.names[-1]
+
+    def __str__(self) -> str:
+        return ".".join(self.names)
+
+
+@dataclass
+class SqlLiteral(SqlNode):
+    value: Any
+    type_hint: Optional[str] = None  # "STRING" | "NUMBER" | "BOOLEAN" | "NULL" | "INTERVAL"
+
+    def __str__(self) -> str:
+        if self.type_hint == "STRING":
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass
+class SqlIntervalLiteral(SqlNode):
+    """INTERVAL '<value>' <unit> — value in the unit, e.g. INTERVAL '1' HOUR."""
+
+    value: str
+    unit: str
+
+    def millis(self) -> int:
+        unit_millis = {
+            "SECOND": 1000,
+            "MINUTE": 60_000,
+            "HOUR": 3_600_000,
+            "DAY": 86_400_000,
+        }
+        if self.unit.upper() not in unit_millis:
+            raise ValueError(f"unsupported interval unit {self.unit}")
+        return int(float(self.value) * unit_millis[self.unit.upper()])
+
+    def __str__(self) -> str:
+        return f"INTERVAL '{self.value}' {self.unit}"
+
+
+@dataclass
+class SqlDynamicParam(SqlNode):
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+@dataclass
+class SqlCall(SqlNode):
+    """Operator or function application: name + operand list.
+
+    ``distinct`` marks aggregate calls like COUNT(DISTINCT x); ``star``
+    marks COUNT(*); ``over`` attaches a window specification.
+    """
+
+    name: str
+    operands: List[SqlNode] = field(default_factory=list)
+    distinct: bool = False
+    star: bool = False
+    over: Optional["SqlWindowSpec"] = None
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(o) for o in self.operands)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        s = f"{self.name}({inner})"
+        if self.over is not None:
+            s += f" OVER ({self.over})"
+        return s
+
+
+@dataclass
+class SqlCase(SqlNode):
+    """CASE [value] WHEN ... THEN ... [ELSE ...] END."""
+
+    value: Optional[SqlNode]
+    when_clauses: List[Tuple[SqlNode, SqlNode]]
+    else_clause: Optional[SqlNode]
+
+    def __str__(self) -> str:
+        parts = ["CASE"]
+        if self.value is not None:
+            parts.append(str(self.value))
+        for cond, result in self.when_clauses:
+            parts.append(f"WHEN {cond} THEN {result}")
+        if self.else_clause is not None:
+            parts.append(f"ELSE {self.else_clause}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass
+class SqlCast(SqlNode):
+    operand: SqlNode
+    type_name: str
+    precision: Optional[int] = None
+    scale: Optional[int] = None
+
+    def __str__(self) -> str:
+        t = self.type_name
+        if self.precision is not None and self.scale is not None:
+            t += f"({self.precision}, {self.scale})"
+        elif self.precision is not None:
+            t += f"({self.precision})"
+        return f"CAST({self.operand} AS {t})"
+
+
+@dataclass
+class SqlItemAccess(SqlNode):
+    """``expr[index]`` over ARRAY/MAP values (Section 7.1)."""
+
+    collection: SqlNode
+    index: SqlNode
+
+    def __str__(self) -> str:
+        return f"{self.collection}[{self.index}]"
+
+
+@dataclass
+class SqlSubQuery(SqlNode):
+    """A query used as an expression (scalar, IN-list, EXISTS)."""
+
+    query: "SqlQuery"
+
+    def __str__(self) -> str:
+        return f"({self.query})"
+
+
+@dataclass
+class SqlWindowSpec(SqlNode):
+    partition_by: List[SqlNode] = field(default_factory=list)
+    order_by: List["SqlOrderItem"] = field(default_factory=list)
+    # frame: (is_rows, lower, upper); bounds are ("UNBOUNDED_PRECEDING",
+    # None) style pairs of kind + optional offset expression
+    is_rows: bool = True
+    lower: Tuple[str, Optional[SqlNode]] = ("UNBOUNDED_PRECEDING", None)
+    upper: Tuple[str, Optional[SqlNode]] = ("CURRENT_ROW", None)
+    explicit_frame: bool = False
+
+    def __str__(self) -> str:
+        parts = []
+        if self.partition_by:
+            parts.append("PARTITION BY " + ", ".join(str(p) for p in self.partition_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        return " ".join(parts)
+
+
+@dataclass
+class SqlOrderItem(SqlNode):
+    expr: SqlNode
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+    def __str__(self) -> str:
+        s = str(self.expr)
+        if self.descending:
+            s += " DESC"
+        return s
+
+
+class SqlQuery(SqlNode):
+    """Base of things that produce rows: SELECT, VALUES, set operations."""
+
+
+@dataclass
+class SqlSelectItem(SqlNode):
+    expr: SqlNode
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+@dataclass
+class SqlSelect(SqlQuery):
+    select_list: List[SqlSelectItem]
+    from_clause: Optional["SqlFromItem"]
+    where: Optional[SqlNode] = None
+    group_by: List[SqlNode] = field(default_factory=list)
+    having: Optional[SqlNode] = None
+    order_by: List[SqlOrderItem] = field(default_factory=list)
+    offset: Optional[int] = None
+    fetch: Optional[int] = None
+    distinct: bool = False
+    #: the STREAM keyword (Section 7.2)
+    stream: bool = False
+
+    def __str__(self) -> str:
+        parts = ["SELECT"]
+        if self.stream:
+            parts.append("STREAM")
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(str(i) for i in self.select_list))
+        if self.from_clause is not None:
+            parts.append(f"FROM {self.from_clause}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(str(g) for g in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.fetch is not None:
+            parts.append(f"LIMIT {self.fetch}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass
+class SqlValues(SqlQuery):
+    rows: List[List[SqlNode]]
+
+    def __str__(self) -> str:
+        rows = ", ".join(
+            "(" + ", ".join(str(v) for v in row) + ")" for row in self.rows)
+        return f"VALUES {rows}"
+
+
+@dataclass
+class SqlSetOp(SqlQuery):
+    kind: str  # UNION | INTERSECT | EXCEPT
+    all: bool
+    left: SqlQuery
+    right: SqlQuery
+
+    def __str__(self) -> str:
+        op = self.kind + (" ALL" if self.all else "")
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass
+class SqlWith(SqlQuery):
+    ctes: List[Tuple[str, SqlQuery]]
+    body: SqlQuery
+
+    def __str__(self) -> str:
+        ctes = ", ".join(f"{name} AS ({q})" for name, q in self.ctes)
+        return f"WITH {ctes} {self.body}"
+
+
+class SqlFromItem(SqlNode):
+    """Base of FROM-clause items."""
+
+
+@dataclass
+class SqlTableRef(SqlFromItem):
+    name: SqlIdentifier
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        s = str(self.name)
+        if self.alias:
+            s += f" AS {self.alias}"
+        return s
+
+
+@dataclass
+class SqlDerivedTable(SqlFromItem):
+    query: SqlQuery
+    alias: str
+
+    def __str__(self) -> str:
+        return f"({self.query}) AS {self.alias}"
+
+
+@dataclass
+class SqlJoinClause(SqlFromItem):
+    kind: str  # INNER | LEFT | RIGHT | FULL | CROSS
+    left: SqlFromItem
+    right: SqlFromItem
+    condition: Optional[SqlNode] = None
+    using: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        s = f"{self.left} {self.kind} JOIN {self.right}"
+        if self.condition is not None:
+            s += f" ON {self.condition}"
+        elif self.using:
+            s += " USING (" + ", ".join(self.using) + ")"
+        return s

@@ -1,0 +1,147 @@
+"""SQL lexer.
+
+Tokenises ANSI SQL plus the paper's extensions (STREAM, TUMBLE/HOP/
+SESSION, geospatial function names, ``[]`` item access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "FETCH", "FIRST", "NEXT", "ROWS", "ROW", "ONLY", "AS", "ON",
+    "USING", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+    "NATURAL", "UNION", "INTERSECT", "EXCEPT", "MINUS", "ALL", "DISTINCT",
+    "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IS", "IN", "EXISTS",
+    "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST",
+    "VALUES", "WITH", "STREAM", "OVER", "PARTITION", "RANGE", "PRECEDING",
+    "FOLLOWING", "CURRENT", "UNBOUNDED", "INTERVAL", "ASC", "DESC", "NULLS",
+    "LAST", "EXTRACT", "SUBSTRING", "TRIM",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = ["<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/",
+              "(", ")", ",", ".", "[", "]", "%"]
+
+
+@dataclass
+class Token:
+    kind: str   # KEYWORD | IDENT | QUOTED_IDENT | NUMBER | STRING | OP | EOF
+    value: str
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+class SqlLexError(Exception):
+    pass
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Convert a SQL string into a token list (EOF-terminated)."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # comments
+        if sql.startswith("--", i):
+            j = sql.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if sql.startswith("/*", i):
+            j = sql.find("*/", i + 2)
+            if j < 0:
+                raise SqlLexError(f"unterminated comment at {i}")
+            i = j + 2
+            continue
+        # string literal (with '' escaping)
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            if j >= n:
+                raise SqlLexError(f"unterminated string at {i}")
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        # quoted identifier
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j < 0:
+                raise SqlLexError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("QUOTED_IDENT", sql[i + 1: j], i))
+            i = j + 1
+            continue
+        if ch == "`":
+            j = sql.find("`", i + 1)
+            if j < 0:
+                raise SqlLexError(f"unterminated quoted identifier at {i}")
+            tokens.append(Token("QUOTED_IDENT", sql[i + 1: j], i))
+            i = j + 1
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        # dynamic parameter
+        if ch == "?":
+            tokens.append(Token("OP", "?", i))
+            i += 1
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "_$"):
+                j += 1
+            word = sql[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        # operator
+        matched: Optional[str] = None
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise SqlLexError(f"unexpected character {ch!r} at {i}")
+        tokens.append(Token("OP", matched, i))
+        i += len(matched)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,16 @@
+"""Streaming SQL extension (Section 7.2): stream tables, window
+assignment functions, and the incremental STREAM executor."""
+
+from .core import StreamTable
+from .executor import StreamExecutor
+from .windows import (
+    assign_session,
+    hop,
+    session_windows,
+    tumble,
+    tumble_end,
+    tumble_start,
+)
+
+__all__ = ["StreamExecutor", "StreamTable", "assign_session", "hop",
+           "session_windows", "tumble", "tumble_end", "tumble_start"]

@@ -1,0 +1,67 @@
+"""Stream tables (Section 7.2).
+
+"Calcite treats streams as time-ordered sets of records or events that
+are not persisted to the disk."  A :class:`StreamTable` buffers events
+in rowtime order; querying it *without* the STREAM keyword processes
+the already-received records as an ordinary relation, while STREAM
+queries (executed by :class:`~repro.stream.executor.StreamExecutor`)
+see only events admitted by the current watermark.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any, Iterable, List, Optional, Sequence
+
+from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType
+from ..schema.core import Statistic, Table
+
+_F = DEFAULT_TYPE_FACTORY
+
+
+class StreamTable(Table):
+    """An append-only, rowtime-ordered event buffer."""
+
+    def __init__(self, name: str, field_names: Sequence[str],
+                 field_types: Sequence[RelDataType],
+                 rowtime_field: str = "ROWTIME") -> None:
+        row_type = _F.struct(field_names, field_types)
+        super().__init__(name, row_type, Statistic(row_count=1000.0))
+        f = row_type.field_by_name(rowtime_field)
+        if f is None:
+            raise ValueError(
+                f"stream {name} needs a {rowtime_field} column")
+        self.rowtime_index = f.index
+        self._events: List[tuple] = []
+        #: when set, scans only see events with rowtime <= cutoff
+        self.visible_upto: Optional[int] = None
+
+    def push(self, row: Sequence[Any]) -> None:
+        """Append one event (kept sorted by rowtime)."""
+        row = tuple(row)
+        rowtime = row[self.rowtime_index]
+        if self._events and self._events[-1][self.rowtime_index] <= rowtime:
+            self._events.append(row)
+        else:
+            insort(self._events, row,
+                   key=lambda r: r[self.rowtime_index])
+
+    def push_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.push(row)
+
+    def scan(self) -> Iterable[tuple]:
+        cutoff = self.visible_upto
+        for row in self._events:
+            if cutoff is not None and row[self.rowtime_index] > cutoff:
+                break
+            yield row
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def last_rowtime(self) -> Optional[int]:
+        if not self._events:
+            return None
+        return self._events[-1][self.rowtime_index]

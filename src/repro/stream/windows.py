@@ -1,0 +1,74 @@
+"""Window assignment functions (Section 7.2, footnote 2).
+
+"Tumbling, hopping, sliding, and session windows are different schemes
+for grouping of the streaming events."  Each function maps an event
+timestamp (epoch millis) to the window(s) it belongs to; windows are
+identified by their start time and carry ``(start, end)`` bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Window = Tuple[int, int]  # (start, end), end exclusive
+
+
+def tumble(timestamp: int, size: int) -> Window:
+    """The single size-``size`` window containing ``timestamp``."""
+    if size <= 0:
+        raise ValueError("window size must be positive")
+    start = (int(timestamp) // size) * size
+    return (start, start + size)
+
+
+def tumble_start(timestamp: int, size: int) -> int:
+    return tumble(timestamp, size)[0]
+
+
+def tumble_end(timestamp: int, size: int) -> int:
+    return tumble(timestamp, size)[1]
+
+
+def hop(timestamp: int, slide: int, size: int) -> List[Window]:
+    """All hopping windows (every ``slide``, length ``size``) containing
+    ``timestamp``.  A tumbling window is the slide == size special case."""
+    if slide <= 0 or size <= 0:
+        raise ValueError("slide and size must be positive")
+    if size < slide:
+        raise ValueError("hopping windows need size >= slide")
+    timestamp = int(timestamp)
+    first_start = ((timestamp - size) // slide + 1) * slide
+    windows = []
+    start = first_start
+    while start <= timestamp:
+        if start + size > timestamp:
+            windows.append((start, start + size))
+        start += slide
+    return windows
+
+
+def session_windows(timestamps: Sequence[int], gap: int) -> List[Window]:
+    """Partition sorted-or-not timestamps into session windows: a new
+    session starts when the gap to the previous event exceeds ``gap``."""
+    if gap <= 0:
+        raise ValueError("session gap must be positive")
+    if not timestamps:
+        return []
+    ordered = sorted(int(t) for t in timestamps)
+    sessions: List[Window] = []
+    start = ordered[0]
+    last = ordered[0]
+    for t in ordered[1:]:
+        if t - last > gap:
+            sessions.append((start, last + gap))
+            start = t
+        last = t
+    sessions.append((start, last + gap))
+    return sessions
+
+
+def assign_session(timestamp: int, sessions: Sequence[Window]) -> Window:
+    for start, end in sessions:
+        if start <= timestamp < end:
+            return (start, end)
+    raise ValueError(f"timestamp {timestamp} not in any session")

@@ -1,0 +1,63 @@
+"""Shared fixtures: the HR schema and the paper's sales/products schema."""
+
+import random
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+@pytest.fixture
+def hr_catalog():
+    """Small employees/departments schema used across unit tests."""
+    catalog = Catalog()
+    hr = Schema("hr")
+    catalog.add_schema(hr)
+    hr.add_table(MemoryTable(
+        "emps", ["empid", "deptno", "name", "sal", "commission"],
+        [F.integer(False), F.integer(False), F.varchar(), F.integer(), F.integer()],
+        [
+            (100, 10, "Bill", 10000, 1000),
+            (110, 10, "Theodore", 11500, 250),
+            (150, 10, "Sebastian", 7000, None),
+            (200, 20, "Eric", 8000, 500),
+            (210, 30, "Victor", 6500, 100),
+        ],
+        statistic=None))
+    hr.add_table(MemoryTable(
+        "depts", ["deptno", "dname"],
+        [F.integer(False), F.varchar()],
+        [(10, "Sales"), (20, "Marketing"), (30, "HR"), (40, "Empty")]))
+    return catalog
+
+
+@pytest.fixture
+def sales_catalog():
+    """The paper's Figure 4 schema: sales JOIN products."""
+    rng = random.Random(42)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    products = [(pid, f"prod{pid}", rng.choice(["A", "B", "C"]))
+                for pid in range(50)]
+    sales = []
+    for i in range(1000):
+        pid = rng.randrange(50)
+        discount = rng.choice([None, 5, 10, 15])
+        sales.append((i, pid, discount, rng.randrange(1, 20)))
+    s.add_table(MemoryTable(
+        "products", ["productId", "name", "category"],
+        [F.integer(False), F.varchar(), F.varchar()], products,
+        statistic=None))
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "discount", "units"],
+        [F.integer(False), F.integer(False), F.integer(), F.integer(False)],
+        sales))
+    return catalog
+
+
+@pytest.fixture
+def hr_planner(hr_catalog):
+    from repro.framework import planner_for
+    return planner_for(hr_catalog)

@@ -1,0 +1,198 @@
+"""Tests for the Elasticsearch and Druid adapters."""
+
+import pytest
+
+from repro import Catalog
+from repro.adapters.druid import DruidError, DruidSchema, DruidStore
+from repro.adapters.elastic import ElasticError, ElasticSchema, ElasticStore
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+
+LOGS = [
+    {"level": "ERROR", "msg": "boom", "code": 500},
+    {"level": "INFO", "msg": "ok", "code": 200},
+    {"level": "WARN", "msg": "meh", "code": 301},
+    {"level": "ERROR", "msg": "bang", "code": 503},
+]
+
+
+class TestElasticStore:
+    @pytest.fixture
+    def store(self):
+        s = ElasticStore()
+        s.add_index("logs", LOGS)
+        return s
+
+    def test_term_query(self, store):
+        docs = store.search("logs", {"query": {"term": {"level": "ERROR"}}})
+        assert len(docs) == 2
+
+    def test_range_query(self, store):
+        docs = store.search("logs", {"query": {"range": {"code": {"gte": 400}}}})
+        assert {d["code"] for d in docs} == {500, 503}
+
+    def test_bool_filter_conjunction(self, store):
+        docs = store.search("logs", {"query": {"bool": {"filter": [
+            {"term": {"level": "ERROR"}},
+            {"range": {"code": {"lt": 502}}}]}}})
+        assert [d["msg"] for d in docs] == ["boom"]
+
+    def test_must_not(self, store):
+        docs = store.search("logs", {"query": {"bool": {
+            "must_not": [{"term": {"level": "ERROR"}}]}}})
+        assert len(docs) == 2
+
+    def test_source_and_size(self, store):
+        docs = store.search("logs", {"_source": ["msg"], "size": 2})
+        assert docs == [{"msg": "boom"}, {"msg": "ok"}]
+
+    def test_unknown_index(self, store):
+        with pytest.raises(ElasticError):
+            store.search("nope", {})
+
+
+class TestElasticAdapter:
+    @pytest.fixture
+    def catalog(self):
+        catalog = Catalog()
+        schema = ElasticSchema("es", ElasticStore())
+        catalog.add_schema(schema)
+        schema.add_elastic_table("logs", ["level", "msg", "code"],
+                                 [F.varchar(), F.varchar(), F.integer()], LOGS)
+        return catalog
+
+    def test_filter_pushed_as_dsl(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT msg FROM es.logs WHERE code >= 400")
+        assert sorted(res.rows) == [("bang",), ("boom",)]
+        text = res.explain()
+        assert "_search" in text and '"gte": 400' in text
+
+    def test_equality_becomes_term(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT code FROM es.logs WHERE level = 'WARN'")
+        assert res.rows == [(301,)]
+        assert '"term"' in res.explain()
+
+    def test_projection_pushed_as_source(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT msg FROM es.logs")
+        assert '"_source": ["msg"]' in res.explain()
+
+    def test_limit_pushed_as_size(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT level FROM es.logs LIMIT 2")
+        assert len(res.rows) == 2
+        assert '"size": 2' in res.explain()
+
+    def test_aggregate_stays_client_side(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT level, COUNT(*) FROM es.logs GROUP BY level")
+        assert sorted(res.rows) == [("ERROR", 2), ("INFO", 1), ("WARN", 1)]
+
+
+DAY = 86_400_000
+EVENTS = [
+    {"__time": 1_000, "country": "US", "device": "phone", "clicks": 3},
+    {"__time": 2_000, "country": "DE", "device": "tablet", "clicks": 5},
+    {"__time": 3_000, "country": "US", "device": "phone", "clicks": 2},
+    {"__time": DAY + 1_000, "country": "US", "device": "laptop", "clicks": 7},
+    {"__time": 2 * DAY + 1_000, "country": "FR", "device": "phone", "clicks": 1},
+]
+
+
+class TestDruidStore:
+    @pytest.fixture
+    def store(self):
+        s = DruidStore()
+        s.create_datasource("hits", ["country", "device"], ["clicks"], EVENTS)
+        return s
+
+    def test_segments_bucketed_by_day(self, store):
+        assert len(store.datasource("hits").segments) == 3
+
+    def test_select_with_filter(self, store):
+        rows = store.query({"queryType": "select", "dataSource": "hits",
+                            "filter": {"type": "selector",
+                                       "dimension": "country", "value": "US"}})
+        assert len(rows) == 3
+
+    def test_interval_prunes_segments(self, store):
+        before = store.rows_scanned
+        rows = store.query({"queryType": "select", "dataSource": "hits",
+                            "intervals": [(0, DAY)]})
+        assert len(rows) == 3
+        # only the first segment was touched
+        assert store.rows_scanned - before == 3
+
+    def test_timeseries(self, store):
+        rows = store.query({
+            "queryType": "timeseries", "dataSource": "hits",
+            "granularity": DAY,
+            "aggregations": [{"type": "longSum", "name": "c",
+                              "fieldName": "clicks"}]})
+        assert [(r["timestamp"], r["c"]) for r in rows] == [
+            (0, 10), (DAY, 7), (2 * DAY, 1)]
+
+    def test_group_by(self, store):
+        rows = store.query({
+            "queryType": "groupBy", "dataSource": "hits",
+            "dimensions": ["country"],
+            "aggregations": [{"type": "count", "name": "n"}]})
+        assert sorted((r["country"], r["n"]) for r in rows) == [
+            ("DE", 1), ("FR", 1), ("US", 3)]
+
+    def test_bound_filter(self, store):
+        rows = store.query({"queryType": "select", "dataSource": "hits",
+                            "filter": {"type": "bound", "dimension": "clicks",
+                                       "lower": 3}})
+        assert len(rows) == 3
+
+    def test_unknown_datasource(self, store):
+        with pytest.raises(DruidError):
+            store.query({"queryType": "select", "dataSource": "none"})
+
+    def test_event_without_time_rejected(self, store):
+        with pytest.raises(DruidError):
+            store.datasource("hits").insert({"country": "XX"})
+
+
+class TestDruidAdapter:
+    @pytest.fixture
+    def catalog(self):
+        catalog = Catalog()
+        schema = DruidSchema("druid", DruidStore())
+        catalog.add_schema(schema)
+        schema.add_datasource(
+            "hits", ["country", "device"], ["clicks"],
+            [F.timestamp(False), F.varchar(), F.varchar(), F.integer()],
+            EVENTS)
+        return catalog
+
+    def test_filter_pushed(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT clicks FROM druid.hits WHERE country = 'DE'")
+        assert res.rows == [(5,)]
+        assert '"selector"' in res.explain()
+
+    def test_group_by_pushed(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT country, SUM(clicks) AS c FROM druid.hits "
+                        "GROUP BY country")
+        assert sorted(res.rows) == [("DE", 5), ("FR", 1), ("US", 12)]
+        text = res.explain()
+        assert '"queryType": "groupBy"' in text
+        assert "EnumerableAggregate" not in text
+
+    def test_filter_plus_group_by_single_call(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT device, COUNT(*) FROM druid.hits "
+                        "WHERE country = 'US' GROUP BY device")
+        assert sorted(res.rows) == [("laptop", 1), ("phone", 2)]
+        assert res.explain().count("DruidQuery") == 1
+
+    def test_unsupported_aggregate_stays_client_side(self, catalog):
+        p = planner_for(catalog)
+        res = p.execute("SELECT country, AVG(clicks) FROM druid.hits GROUP BY country")
+        assert ("US", 4.0) in res.rows
+        assert "EnumerableAggregate" in res.explain()

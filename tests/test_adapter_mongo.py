@@ -1,0 +1,138 @@
+"""Tests for the MongoDB adapter and the Section 7.1 semi-structured views."""
+
+import pytest
+
+from repro import Catalog
+from repro.adapters.mongo import MongoError, MongoSchema, MongoStore
+from repro.adapters.mongo.adapter import translate_filter
+from repro.framework import planner_for
+from repro.schema.core import ViewTable
+
+ZIPS = [
+    {"city": "SAN FRANCISCO", "loc": [-122.42, 37.77], "pop": 800000, "state": "CA"},
+    {"city": "LOS ANGELES", "loc": [-118.24, 34.05], "pop": 3900000, "state": "CA"},
+    {"city": "AUSTIN", "loc": [-97.74, 30.27], "pop": 950000, "state": "TX"},
+]
+
+
+@pytest.fixture
+def store():
+    s = MongoStore()
+    s.add_collection("zips", ZIPS)
+    return s
+
+
+class TestMongoStore:
+    def test_find_all(self, store):
+        assert len(store.find("zips")) == 3
+
+    def test_find_with_operators(self, store):
+        docs = store.find("zips", {"pop": {"$gt": 900000}})
+        assert {d["city"] for d in docs} == {"LOS ANGELES", "AUSTIN"}
+        docs = store.find("zips", {"state": {"$eq": "CA"}, "pop": {"$lt": 1000000}})
+        assert [d["city"] for d in docs] == ["SAN FRANCISCO"]
+
+    def test_implicit_equality(self, store):
+        assert len(store.find("zips", {"state": "TX"})) == 1
+
+    def test_dotted_path_into_arrays(self, store):
+        docs = store.find("zips", {"loc.1": {"$gt": 35.0}})
+        assert [d["city"] for d in docs] == ["SAN FRANCISCO"]
+
+    def test_or_operator(self, store):
+        docs = store.find("zips", {"$or": [{"state": "TX"}, {"pop": {"$gt": 3000000}}]})
+        assert len(docs) == 2
+
+    def test_in_operator(self, store):
+        docs = store.find("zips", {"state": {"$in": ["TX", "NV"]}})
+        assert len(docs) == 1
+
+    def test_projection(self, store):
+        docs = store.find("zips", None, {"city": 1})
+        assert docs[0] == {"city": "SAN FRANCISCO"}
+
+    def test_unknown_collection(self, store):
+        with pytest.raises(MongoError):
+            store.find("ghosts")
+
+
+@pytest.fixture
+def mongo_catalog(store):
+    catalog = Catalog()
+    schema = MongoSchema("mongo_raw", store)
+    catalog.add_schema(schema)
+    schema.add_collection("zips")
+    return catalog, store
+
+
+class TestMapColumn:
+    def test_paper_view_query(self, mongo_catalog):
+        """The exact Section 7.1 query: CAST over _MAP item accesses."""
+        catalog, store = mongo_catalog
+        p = planner_for(catalog)
+        res = p.execute(
+            "SELECT CAST(_MAP['city'] AS varchar(20)) AS city,"
+            " CAST(_MAP['loc'][1] AS float) AS longitude,"
+            " CAST(_MAP['loc'][2] AS float) AS latitude"
+            " FROM mongo_raw.zips")
+        assert ("SAN FRANCISCO", -122.42, 37.77) in res.rows
+        assert res.columns == ["city", "longitude", "latitude"]
+
+    def test_view_over_map_column(self, mongo_catalog):
+        """Defining the relational view makes documents joinable."""
+        catalog, store = mongo_catalog
+        schema = catalog.resolve_schema(["mongo_raw"])
+        schema.add_table(ViewTable("zips_rel",
+            "SELECT CAST(_MAP['city'] AS varchar(20)) AS city,"
+            " CAST(_MAP['state'] AS varchar(2)) AS state,"
+            " CAST(_MAP['pop'] AS integer) AS pop FROM mongo_raw.zips"))
+        p = planner_for(catalog)
+        res = p.execute("SELECT city FROM mongo_raw.zips_rel "
+                        "WHERE state = 'CA' ORDER BY pop DESC")
+        assert res.rows == [("LOS ANGELES",), ("SAN FRANCISCO",)]
+
+    def test_filter_pushdown_to_find(self, mongo_catalog):
+        catalog, store = mongo_catalog
+        p = planner_for(catalog)
+        store.docs_scanned = 0
+        res = p.execute("SELECT _MAP['city'] FROM mongo_raw.zips "
+                        "WHERE _MAP['state'] = 'TX'")
+        assert res.rows == [("AUSTIN",)]
+        text = res.explain()
+        assert "find" in text and '"$eq": "TX"' in text
+
+    def test_range_pushdown(self, mongo_catalog):
+        catalog, store = mongo_catalog
+        p = planner_for(catalog)
+        res = p.execute("SELECT _MAP['city'] FROM mongo_raw.zips "
+                        "WHERE _MAP['pop'] > 900000 AND _MAP['pop'] < 2000000")
+        assert res.rows == [("AUSTIN",)]
+        assert "$gt" in res.explain()
+
+
+class TestFilterTranslation:
+    def test_translate_item_comparisons(self):
+        from repro.core import rex as rexmod
+        from repro.core.rex import RexCall, RexInputRef, literal
+        from repro.core.types import DEFAULT_TYPE_FACTORY as F
+        map_ref = RexInputRef(0, F.map(F.varchar(), F.any()))
+        item = RexCall(rexmod.ITEM, [map_ref, literal("pop")])
+        cond = RexCall(rexmod.GREATER_THAN, [item, literal(5)])
+        assert translate_filter(cond) == {"pop": {"$gt": 5}}
+
+    def test_nested_item_to_dotted_path(self):
+        from repro.core import rex as rexmod
+        from repro.core.rex import RexCall, RexInputRef, literal
+        from repro.core.types import DEFAULT_TYPE_FACTORY as F
+        map_ref = RexInputRef(0, F.map(F.varchar(), F.any()))
+        loc = RexCall(rexmod.ITEM, [map_ref, literal("loc")])
+        elem = RexCall(rexmod.ITEM, [loc, literal(1)])  # SQL 1-based
+        cond = RexCall(rexmod.EQUALS, [elem, literal(-97.74)])
+        assert translate_filter(cond) == {"loc.0": {"$eq": -97.74}}
+
+    def test_untranslatable_returns_none(self):
+        from repro.core import rex as rexmod
+        from repro.core.rex import RexCall, RexInputRef, literal
+        from repro.core.types import DEFAULT_TYPE_FACTORY as F
+        cond = RexCall(rexmod.LIKE, [RexInputRef(0, F.varchar()), literal("x%")])
+        assert translate_filter(cond) is None

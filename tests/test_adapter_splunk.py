@@ -1,0 +1,155 @@
+"""Tests for the Splunk adapter — including the Figure 2 scenario."""
+
+import pytest
+
+from repro import Catalog
+from repro.adapters.jdbc import JdbcSchema, MiniDb
+from repro.adapters.splunk import (
+    SplunkError,
+    SplunkQuery,
+    SplunkSchema,
+    SplunkStore,
+)
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+
+
+@pytest.fixture
+def store():
+    store = SplunkStore()
+    store.add_index("orders", [
+        {"rowtime": 1, "productId": 1, "units": 30},
+        {"rowtime": 2, "productId": 2, "units": 10},
+        {"rowtime": 3, "productId": 3, "units": 50},
+        {"rowtime": 4, "productId": 1, "units": 5},
+    ])
+    return store
+
+
+class TestSplunkStore:
+    def test_search_equality_and_ranges(self, store):
+        events = store.execute("search index=orders productId=1")
+        assert len(events) == 2
+        events = store.execute("search index=orders units>=30")
+        assert {e["units"] for e in events} == {30, 50}
+
+    def test_search_string_values(self, store):
+        store.add_index("logs", [{"level": "ERROR"}, {"level": "INFO"}])
+        events = store.execute('search index=logs level="ERROR"')
+        assert len(events) == 1
+
+    def test_fields_stage(self, store):
+        events = store.execute("search index=orders units>25 | fields rowtime, units")
+        assert events == [{"rowtime": 1, "units": 30}, {"rowtime": 3, "units": 50}]
+
+    def test_head_and_sort_stages(self, store):
+        events = store.execute("search index=orders | sort -units | head 1")
+        assert events[0]["units"] == 50
+
+    def test_lookup_inner_semantics(self, store):
+        store.register_lookup("products", ["productId", "name"],
+                              lambda: [(1, "widget"), (3, "gizmo")])
+        events = store.execute(
+            "search index=orders | lookup products productId AS productId OUTPUT name")
+        assert {e["name"] for e in events} == {"widget", "gizmo"}
+        assert len(events) == 3  # productId=2 dropped (no lookup match)
+
+    def test_missing_search_prefix(self, store):
+        with pytest.raises(SplunkError):
+            store.execute("fields a")
+
+    def test_unknown_lookup(self, store):
+        with pytest.raises(SplunkError):
+            store.execute("search index=orders | lookup nothing a AS b OUTPUT c")
+
+
+@pytest.fixture
+def fig2_catalog(store):
+    """Orders in Splunk, Products in MySQL — the Figure 2 setup."""
+    db = MiniDb("mysql")
+    catalog = Catalog()
+    mysql = JdbcSchema("mysql", db, dialect="mysql")
+    splunk = SplunkSchema("splunk", store)
+    catalog.add_schema(mysql)
+    catalog.add_schema(splunk)
+    mysql.add_jdbc_table("products", ["productId", "name", "price"],
+                         [F.integer(False), F.varchar(), F.integer()],
+                         [(1, "widget", 10), (2, "gadget", 25), (3, "gizmo", 40)])
+    splunk.add_splunk_table("orders", ["rowtime", "productId", "units"],
+                            [F.timestamp(False), F.integer(False), F.integer(False)])
+    store.register_lookup("products", ["productId", "name", "price"],
+                          lambda: db.table("products").rows)
+    return catalog, store, db
+
+
+class TestSplunkPushdown:
+    def test_filter_pushed_into_search(self, fig2_catalog):
+        catalog, store, _ = fig2_catalog
+        p = planner_for(catalog)
+        res = p.execute("SELECT rowtime, units FROM splunk.orders WHERE units > 25")
+        assert sorted(res.rows) == [(1, 30), (3, 50)]
+        assert "units>25" in res.explain()
+
+    def test_projection_becomes_fields_stage(self, fig2_catalog):
+        catalog, store, _ = fig2_catalog
+        p = planner_for(catalog)
+        res = p.execute("SELECT units FROM splunk.orders")
+        assert "fields units" in res.explain()
+
+    def test_figure2_join_runs_inside_splunk(self, fig2_catalog):
+        """The paper's winning plan: the join migrates into the splunk
+        convention via the ODBC lookup."""
+        catalog, store, db = fig2_catalog
+        p = planner_for(catalog)
+        res = p.execute(
+            "SELECT o.rowtime, p.name, o.units FROM splunk.orders o "
+            "JOIN mysql.products p ON o.productId = p.productId "
+            "WHERE o.units > 20")
+        assert sorted(res.rows) == [(1, "widget", 30), (3, "gizmo", 50)]
+        text = res.explain()
+        assert "lookup products" in text       # join inside Splunk
+        assert "EnumerableJoin" not in text    # not a client-side join
+        assert "units>20" in text              # filter inside the search
+
+    def test_figure2_plan_is_single_splunk_query(self, fig2_catalog):
+        catalog, store, db = fig2_catalog
+        p = planner_for(catalog)
+        rel = p.rel("SELECT o.rowtime, p.name, o.units FROM splunk.orders o "
+                    "JOIN mysql.products p ON o.productId = p.productId "
+                    "WHERE o.units > 20")
+        best = p.optimize(rel)
+        leaf = best
+        while leaf.inputs:
+            leaf = leaf.inputs[0]
+        assert isinstance(leaf, SplunkQuery)
+        assert leaf.lookup is not None
+
+    def test_join_without_lookup_registration_stays_client_side(self, store):
+        db = MiniDb("mysql")
+        catalog = Catalog()
+        mysql = JdbcSchema("mysql", db)
+        splunk = SplunkSchema("splunk", store)
+        catalog.add_schema(mysql)
+        catalog.add_schema(splunk)
+        mysql.add_jdbc_table("products", ["productId", "name"],
+                             [F.integer(False), F.varchar()],
+                             [(1, "widget")])
+        splunk.add_splunk_table("orders", ["rowtime", "productId", "units"],
+                                [F.timestamp(False), F.integer(False),
+                                 F.integer(False)])
+        # NOTE: no register_lookup → SplunkJoinRule cannot fire
+        p = planner_for(catalog)
+        res = p.execute("SELECT o.units, p.name FROM splunk.orders o "
+                        "JOIN mysql.products p ON o.productId = p.productId")
+        assert res.rows == [(30, "widget"), (5, "widget")]
+        assert "lookup" not in res.explain()
+
+    def test_spl_rendering(self, fig2_catalog):
+        catalog, store, _ = fig2_catalog
+        p = planner_for(catalog)
+        rel = p.rel("SELECT rowtime FROM splunk.orders WHERE units > 25 AND productId = 3")
+        best = p.optimize(rel)
+        text = best.explain()
+        assert "search index=orders" in text
+        assert "units>25" in text
+        assert "productId=3" in text

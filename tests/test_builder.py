@@ -1,0 +1,173 @@
+"""Unit tests for RelBuilder — the Section 3 expression-builder API."""
+
+import pytest
+
+from repro.core.builder import RelBuilder
+from repro.core.rel import (
+    JoinRelType,
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.runtime.operators import execute_to_list
+
+
+class TestPaperExample:
+    def test_pig_script_equivalent(self, hr_catalog):
+        """The paper's Section 3 example: GROUP/FOREACH over employee data."""
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps")
+                .aggregate(b.group_key("deptno"),
+                           b.count(False, "c"),
+                           b.sum(False, "s", b.field("sal")))
+                .build())
+        assert isinstance(rel, LogicalAggregate)
+        rows = sorted(execute_to_list(rel))
+        assert rows == [(10, 3, 28500), (20, 1, 8000), (30, 1, 6500)]
+        assert rel.row_type.field_names == ("deptno", "c", "s")
+
+
+class TestScans:
+    def test_scan_unknown_table(self, hr_catalog):
+        with pytest.raises(KeyError):
+            RelBuilder(hr_catalog).scan("hr", "nothing")
+
+    def test_scan_without_catalog(self):
+        with pytest.raises(ValueError):
+            RelBuilder().scan("x")
+
+    def test_values(self):
+        b = RelBuilder()
+        rel = b.values(["a", "b"], (1, "x"), (2, "y")).build()
+        assert execute_to_list(rel) == [(1, "x"), (2, "y")]
+
+    def test_build_empty_stack(self):
+        with pytest.raises(ValueError):
+            RelBuilder().build()
+
+
+class TestFilterProject:
+    def test_filter_chaining(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps")
+                .filter(b.greater_than(b.field("sal"), b.literal(8000)))
+                .build())
+        assert isinstance(rel, LogicalFilter)
+        assert len(execute_to_list(rel)) == 2
+
+    def test_filter_true_is_noop(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = b.scan("hr", "emps").filter().build()
+        assert not isinstance(rel, LogicalFilter)
+
+    def test_project_fields(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = b.scan("hr", "emps").project_fields("name", "sal").build()
+        assert rel.row_type.field_names == ("name", "sal")
+
+    def test_project_named(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.project_named(
+            (b.field("name"), "who"),
+            (b.call(__import__("repro.core.rex", fromlist=["PLUS"]).PLUS,
+                    b.field("sal"), b.literal(1)), "salplus")).build()
+        assert rel.row_type.field_names == ("who", "salplus")
+
+    def test_field_unknown_raises(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        with pytest.raises(KeyError):
+            b.field("nope")
+
+
+class TestJoins:
+    def test_join_using(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps").scan("hr", "depts")
+                .join_using(JoinRelType.INNER, "deptno").build())
+        assert isinstance(rel, LogicalJoin)
+        rows = execute_to_list(rel)
+        assert len(rows) == 5  # every emp matches a dept
+
+    def test_join_condition_field2(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps").scan("hr", "depts")
+        cond = b.equals(b.field2(0, "deptno"), b.field2(1, "deptno"))
+        rel = b.join(JoinRelType.LEFT, cond).build()
+        assert rel.join_type is JoinRelType.LEFT
+
+    def test_field2_requires_two_inputs(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        with pytest.raises(ValueError):
+            b.field2(0, "deptno")
+
+
+class TestAggregates:
+    def test_group_on_expression_inserts_project(self, hr_catalog):
+        from repro.core import rex as rexmod
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        bucket = b.call(rexmod.DIVIDE, b.field("sal"), b.literal(1000))
+        rel = b.aggregate(b.group_key(bucket), b.count_star("c")).build()
+        assert isinstance(rel, LogicalAggregate)
+        assert isinstance(rel.input, LogicalProject)
+
+    def test_distinct_aggregate(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.aggregate(b.group_key(),
+                          b.count(True, "dc", b.field("deptno"))).build()
+        assert execute_to_list(rel) == [(3,)]
+
+    def test_avg_min_max(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.aggregate(b.group_key(),
+                          b.avg(False, "a", b.field("sal")),
+                          b.min("lo", b.field("sal")),
+                          b.max("hi", b.field("sal"))).build()
+        (row,) = execute_to_list(rel)
+        assert row == (8600.0, 6500, 11500)
+
+
+class TestSetOpsAndSort:
+    def test_union_distinct(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps").project_fields("deptno")
+        b.scan("hr", "depts").project_fields("deptno")
+        rel = b.union(all_=False).build()
+        assert isinstance(rel, LogicalUnion)
+        assert sorted(execute_to_list(rel)) == [(10,), (20,), (30,), (40,)]
+
+    def test_minus(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "depts").project_fields("deptno")
+        b.scan("hr", "emps").project_fields("deptno")
+        rel = b.minus().build()
+        assert execute_to_list(rel) == [(40,)]
+
+    def test_intersect(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "depts").project_fields("deptno")
+        b.scan("hr", "emps").project_fields("deptno")
+        rel = b.intersect().build()
+        assert sorted(execute_to_list(rel)) == [(10,), (20,), (30,)]
+
+    def test_sort_desc_limit(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps").sort("sal", descending=True)
+                .limit(None, 2).build())
+        assert isinstance(rel, LogicalSort)
+        rows = execute_to_list(rel)
+        assert [r[3] for r in rows] == [11500, 10000]
+
+    def test_limit_over_plain_rel(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = b.scan("hr", "emps").limit(1, 2).build()
+        rows = execute_to_list(rel)
+        assert len(rows) == 2

@@ -1,0 +1,199 @@
+"""Unit tests for the LINQ4J-style Enumerable API (Section 7.4)."""
+
+import pytest
+
+from repro.runtime.enumerable import Enumerable
+
+
+class TestConstruction:
+    def test_of_and_iter(self):
+        assert list(Enumerable.of([1, 2, 3])) == [1, 2, 3]
+
+    def test_reusable(self):
+        e = Enumerable.of([1, 2])
+        assert list(e) == [1, 2]
+        assert list(e) == [1, 2]  # traversable twice, as IEnumerable
+
+    def test_range(self):
+        assert Enumerable.range(5, 3).to_list() == [5, 6, 7]
+
+    def test_empty(self):
+        assert Enumerable.empty().to_list() == []
+
+
+class TestProjectionRestriction:
+    def test_select(self):
+        assert Enumerable.of([1, 2]).select(lambda x: x * 10).to_list() == [10, 20]
+
+    def test_where(self):
+        assert Enumerable.of(range(10)).where(lambda x: x % 3 == 0).to_list() == [0, 3, 6, 9]
+
+    def test_select_many(self):
+        result = Enumerable.of([1, 2]).select_many(lambda x: [x, -x]).to_list()
+        assert result == [1, -1, 2, -2]
+
+    def test_lazy_evaluation(self):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        e = Enumerable.of([1, 2, 3]).select(spy)
+        assert calls == []  # nothing evaluated yet
+        e.take(1).to_list()
+        assert calls == [1]  # short-circuit
+
+
+class TestJoins:
+    def test_hash_join(self):
+        depts = Enumerable.of([(10, "Sales"), (20, "Eng")])
+        emps = Enumerable.of([("Ann", 10), ("Bob", 20), ("Cid", 10)])
+        result = emps.join(depts, lambda e: e[1], lambda d: d[0],
+                           lambda e, d: (e[0], d[1])).to_list()
+        assert result == [("Ann", "Sales"), ("Bob", "Eng"), ("Cid", "Sales")]
+
+    def test_left_join(self):
+        depts = Enumerable.of([(10, "Sales")])
+        emps = Enumerable.of([("Ann", 10), ("Zed", 99)])
+        result = emps.left_join(depts, lambda e: e[1], lambda d: d[0],
+                                lambda e, d: (e[0], d[1] if d else None)).to_list()
+        assert result == [("Ann", "Sales"), ("Zed", None)]
+
+    def test_group_join(self):
+        depts = Enumerable.of([(10,), (20,)])
+        emps = Enumerable.of([("Ann", 10), ("Bob", 10)])
+        result = depts.group_join(emps, lambda d: d[0], lambda e: e[1],
+                                  lambda d, es: (d[0], len(es))).to_list()
+        assert result == [(10, 2), (20, 0)]
+
+    def test_cartesian(self):
+        out = Enumerable.of([1, 2]).cartesian(Enumerable.of(["a"]),
+                                              lambda a, b: (a, b)).to_list()
+        assert out == [(1, "a"), (2, "a")]
+
+
+class TestGroupingOrdering:
+    def test_group_by(self):
+        groups = Enumerable.of([1, 2, 3, 4]).group_by(lambda x: x % 2).to_list()
+        assert groups == [(1, [1, 3]), (0, [2, 4])]
+
+    def test_group_by_with_result(self):
+        out = Enumerable.of([1, 2, 3, 4]).group_by(
+            lambda x: x % 2, lambda k, xs: (k, sum(xs))).to_list()
+        assert out == [(1, 4), (0, 6)]
+
+    def test_order_by(self):
+        assert Enumerable.of([3, 1, 2]).order_by(lambda x: x).to_list() == [1, 2, 3]
+        assert Enumerable.of([3, 1, 2]).order_by(lambda x: x, descending=True).to_list() == [3, 2, 1]
+
+    def test_reverse(self):
+        assert Enumerable.of([1, 2, 3]).reverse().to_list() == [3, 2, 1]
+
+
+class TestPartitioning:
+    def test_take_skip(self):
+        e = Enumerable.range(0, 10)
+        assert e.take(3).to_list() == [0, 1, 2]
+        assert e.skip(8).to_list() == [8, 9]
+        assert e.skip(3).take(2).to_list() == [3, 4]
+
+    def test_take_while_skip_while(self):
+        e = Enumerable.of([1, 2, 9, 1])
+        assert e.take_while(lambda x: x < 5).to_list() == [1, 2]
+        assert e.skip_while(lambda x: x < 5).to_list() == [9, 1]
+
+
+class TestSetOps:
+    def test_distinct_preserves_order(self):
+        assert Enumerable.of([3, 1, 3, 2, 1]).distinct().to_list() == [3, 1, 2]
+
+    def test_union_intersect_except(self):
+        a = Enumerable.of([1, 2, 3])
+        b = Enumerable.of([2, 3, 4])
+        assert a.union(b).to_list() == [1, 2, 3, 4]
+        assert a.intersect(b).to_list() == [2, 3]
+        assert a.except_(b).to_list() == [1]
+
+    def test_concat_keeps_duplicates(self):
+        assert Enumerable.of([1]).concat(Enumerable.of([1])).to_list() == [1, 1]
+
+    def test_zip(self):
+        out = Enumerable.of([1, 2]).zip(Enumerable.of(["a", "b", "c"]),
+                                        lambda a, b: f"{a}{b}").to_list()
+        assert out == ["1a", "2b"]
+
+
+class TestAggregation:
+    def test_aggregate_fold(self):
+        assert Enumerable.of([1, 2, 3]).aggregate(10, lambda acc, x: acc + x) == 16
+
+    def test_count_sum_min_max_average(self):
+        e = Enumerable.of([4, 1, 3])
+        assert e.count() == 3
+        assert e.count(lambda x: x > 1) == 2
+        assert e.sum() == 8
+        assert e.min() == 1
+        assert e.max() == 4
+        assert e.average() == pytest.approx(8 / 3)
+
+    def test_aggregates_skip_none(self):
+        e = Enumerable.of([1, None, 3])
+        assert e.sum() == 4
+        assert e.min() == 1
+        assert Enumerable.of([None]).sum() is None
+        assert Enumerable.of([]).average() is None
+
+
+class TestElementAccess:
+    def test_first(self):
+        assert Enumerable.of([1, 2]).first() == 1
+        assert Enumerable.of([1, 2]).first(lambda x: x > 1) == 2
+        with pytest.raises(ValueError):
+            Enumerable.empty().first()
+
+    def test_first_or_default(self):
+        assert Enumerable.empty().first_or_default(42) == 42
+
+    def test_single(self):
+        assert Enumerable.of([7]).single() == 7
+        with pytest.raises(ValueError):
+            Enumerable.of([1, 2]).single()
+
+    def test_element_at(self):
+        assert Enumerable.of([5, 6, 7]).element_at(1) == 6
+        with pytest.raises(IndexError):
+            Enumerable.of([5]).element_at(3)
+
+
+class TestQuantifiers:
+    def test_any_all_contains(self):
+        e = Enumerable.of([1, 2, 3])
+        assert e.any()
+        assert e.any(lambda x: x == 2)
+        assert not e.any(lambda x: x > 5)
+        assert e.all(lambda x: x > 0)
+        assert not e.all(lambda x: x > 1)
+        assert e.contains(3)
+        assert not e.contains(9)
+
+    def test_to_dict(self):
+        d = Enumerable.of([("a", 1), ("b", 2)]).to_dict(
+            lambda kv: kv[0], lambda kv: kv[1])
+        assert d == {"a": 1, "b": 2}
+
+
+class TestComposedPipeline:
+    def test_query_style_chain(self):
+        """The LINQ sales-report idiom: filter → join → group → order."""
+        sales = Enumerable.of([
+            ("widget", 2, 5.0), ("gadget", 1, 20.0), ("widget", 3, 5.0)])
+        products = Enumerable.of([("widget", "tools"), ("gadget", "toys")])
+        report = (sales
+                  .join(products, lambda s: s[0], lambda p: p[0],
+                        lambda s, p: (p[1], s[1] * s[2]))
+                  .group_by(lambda row: row[0],
+                            lambda cat, rows: (cat, sum(r[1] for r in rows)))
+                  .order_by(lambda row: row[1], descending=True)
+                  .to_list())
+        assert report == [("tools", 25.0), ("toys", 20.0)]

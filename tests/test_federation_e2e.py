@@ -1,0 +1,117 @@
+"""End-to-end federation: one SQL query spanning many backends.
+
+"Calcite is able to answer queries involving tables across multiple
+backends by pushing down all possible logic to each backend and then
+performing joins and aggregations on the resulting data."
+"""
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema, connect
+from repro.adapters.cassandra import CassandraSchema, CassandraStore
+from repro.adapters.elastic import ElasticSchema, ElasticStore
+from repro.adapters.jdbc import JdbcSchema, MiniDb
+from repro.adapters.mongo import MongoSchema, MongoStore
+from repro.adapters.splunk import SplunkSchema, SplunkStore
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+from repro.schema.core import ViewTable
+
+
+@pytest.fixture
+def federated():
+    """Products in MySQL, orders in Splunk, reviews in Mongo, sensor
+    data in Cassandra, logs in Elasticsearch, reference in memory."""
+    catalog = Catalog()
+
+    db = MiniDb("mysql")
+    mysql = JdbcSchema("mysql", db)
+    catalog.add_schema(mysql)
+    mysql.add_jdbc_table(
+        "products", ["productId", "name", "price"],
+        [F.integer(False), F.varchar(), F.integer()],
+        [(1, "widget", 10), (2, "gadget", 25), (3, "gizmo", 40)])
+
+    splunk_store = SplunkStore()
+    splunk = SplunkSchema("splunk", splunk_store)
+    catalog.add_schema(splunk)
+    splunk.add_splunk_table(
+        "orders", ["rowtime", "productId", "units"],
+        [F.timestamp(False), F.integer(False), F.integer(False)],
+        [{"rowtime": 1, "productId": 1, "units": 30},
+         {"rowtime": 2, "productId": 2, "units": 10},
+         {"rowtime": 3, "productId": 1, "units": 50},
+         {"rowtime": 4, "productId": 3, "units": 5}])
+
+    mongo_store = MongoStore()
+    mongo = MongoSchema("mongo", mongo_store)
+    catalog.add_schema(mongo)
+    mongo.add_collection("reviews", [
+        {"productId": 1, "stars": 5}, {"productId": 1, "stars": 4},
+        {"productId": 2, "stars": 2}])
+    mongo.add_table(ViewTable("reviews_rel",
+        "SELECT CAST(_MAP['productId'] AS integer) AS productId,"
+        " CAST(_MAP['stars'] AS integer) AS stars FROM mongo.reviews"))
+
+    memory = Schema("ref")
+    catalog.add_schema(memory)
+    memory.add_table(MemoryTable(
+        "categories", ["productId", "category"],
+        [F.integer(False), F.varchar()],
+        [(1, "tools"), (2, "toys"), (3, "tools")]))
+    return catalog
+
+
+class TestFederatedQueries:
+    def test_two_backend_join(self, federated):
+        p = planner_for(federated)
+        res = p.execute(
+            "SELECT p.name, SUM(o.units) AS total "
+            "FROM splunk.orders o JOIN mysql.products p "
+            "ON o.productId = p.productId GROUP BY p.name ORDER BY total DESC")
+        assert res.rows == [("widget", 80), ("gadget", 10), ("gizmo", 5)]
+
+    def test_three_backend_join(self, federated):
+        p = planner_for(federated)
+        res = p.execute(
+            "SELECT c.category, SUM(o.units * p.price) AS revenue "
+            "FROM splunk.orders o "
+            "JOIN mysql.products p ON o.productId = p.productId "
+            "JOIN ref.categories c ON p.productId = c.productId "
+            "GROUP BY c.category ORDER BY revenue DESC")
+        assert res.rows == [("tools", 1000), ("toys", 250)]
+
+    def test_semistructured_join_with_relational(self, federated):
+        """Section 7.1's goal: manipulate document data in tandem with
+        relational data."""
+        p = planner_for(federated)
+        res = p.execute(
+            "SELECT p.name, AVG(r.stars) AS rating "
+            "FROM mongo.reviews_rel r JOIN mysql.products p "
+            "ON r.productId = p.productId GROUP BY p.name ORDER BY rating DESC")
+        assert res.rows == [("widget", 4.5), ("gadget", 2.0)]
+
+    def test_filters_pushed_to_each_backend(self, federated):
+        p = planner_for(federated)
+        res = p.execute(
+            "SELECT o.rowtime FROM splunk.orders o "
+            "JOIN mysql.products p ON o.productId = p.productId "
+            "WHERE o.units > 20 AND p.price < 20")
+        assert sorted(res.rows) == [(1,), (3,)]
+        text = res.explain()
+        assert "units>20" in text        # splunk search term
+        assert "`price` < 20" in text    # mysql WHERE
+
+    def test_driver_over_federation(self, federated):
+        with connect(federated) as conn:
+            cur = conn.execute(
+                "SELECT COUNT(*) FROM splunk.orders o "
+                "JOIN mysql.products p ON o.productId = p.productId")
+            assert cur.fetchone() == (4,)
+
+    def test_union_across_backends(self, federated):
+        p = planner_for(federated)
+        res = p.execute(
+            "SELECT productId FROM mysql.products "
+            "UNION SELECT productId FROM ref.categories")
+        assert sorted(res.rows) == [(1,), (2,), (3,)]

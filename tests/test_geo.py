@@ -1,0 +1,144 @@
+"""Tests for the geospatial extension (Section 7.3)."""
+
+import math
+
+import pytest
+
+import repro.geo  # registers ST_* functions
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import planner_for
+from repro.geo import (
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+    contains,
+    distance,
+    intersects,
+    parse_wkt,
+)
+
+
+class TestWkt:
+    def test_point_roundtrip(self):
+        p = parse_wkt("POINT (4.9 52.37)")
+        assert isinstance(p, Point)
+        assert (p.x, p.y) == (4.9, 52.37)
+        assert parse_wkt(p.wkt()) == p
+
+    def test_linestring_roundtrip(self):
+        l = parse_wkt("LINESTRING (0 0, 3 4)")
+        assert isinstance(l, LineString)
+        assert l.length() == 5.0
+
+    def test_polygon_roundtrip(self):
+        wkt = "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"
+        poly = parse_wkt(wkt)
+        assert isinstance(poly, Polygon)
+        assert poly.area() == 16.0
+        assert parse_wkt(poly.wkt()) == poly
+
+    def test_polygon_with_hole(self):
+        poly = parse_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))")
+        assert poly.area() == 96.0
+        assert not poly.contains_point(5, 5)   # inside the hole
+        assert poly.contains_point(2, 2)
+
+    def test_bad_wkt(self):
+        with pytest.raises(GeometryError):
+            parse_wkt("CIRCLE (1 1, 5)")
+        with pytest.raises(GeometryError):
+            parse_wkt("POLYGON ((0 0, 1 1))")  # unclosed/short ring
+
+    def test_case_insensitive(self):
+        assert isinstance(parse_wkt("point (1 2)"), Point)
+
+
+class TestPredicates:
+    SQUARE = parse_wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+
+    def test_contains_point(self):
+        assert contains(self.SQUARE, Point(5, 5))
+        assert not contains(self.SQUARE, Point(15, 5))
+        assert contains(self.SQUARE, Point(0, 0))  # boundary counts
+
+    def test_contains_polygon(self):
+        inner = parse_wkt("POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))")
+        assert contains(self.SQUARE, inner)
+        assert not contains(inner, self.SQUARE)
+
+    def test_intersects(self):
+        overlapping = parse_wkt("POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))")
+        disjoint = parse_wkt("POLYGON ((20 20, 30 20, 30 30, 20 30, 20 20))")
+        assert intersects(self.SQUARE, overlapping)
+        assert not intersects(self.SQUARE, disjoint)
+
+    def test_distance(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+
+class TestSqlIntegration:
+    @pytest.fixture
+    def gis(self):
+        catalog = Catalog()
+        s = Schema("gis")
+        catalog.add_schema(s)
+        s.add_table(MemoryTable(
+            "country", ["name", "boundary"], [F.varchar(), F.varchar()],
+            [("Netherlands",
+              "POLYGON ((3.3 50.7, 7.2 50.7, 7.2 53.6, 3.3 53.6, 3.3 50.7))"),
+             ("Belgium",
+              "POLYGON ((2.5 49.5, 6.4 49.5, 6.4 51.5, 2.5 51.5, 2.5 49.5))")]))
+        s.add_table(MemoryTable(
+            "city", ["name", "x", "y"], [F.varchar(), F.double(), F.double()],
+            [("Amsterdam", 4.9, 52.37), ("Brussels", 4.35, 50.85),
+             ("Paris", 2.35, 48.85)]))
+        return catalog
+
+    def test_paper_query(self, gis):
+        """Section 7.3's ST_Contains query runs verbatim."""
+        p = planner_for(gis)
+        res = p.execute("""SELECT name FROM (
+          SELECT name,
+            ST_GeomFromText('POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33,
+              4.82 52.33, 4.82 52.43))') AS "Amsterdam",
+            ST_GeomFromText(boundary) AS "Country"
+          FROM gis.country
+        ) WHERE ST_Contains("Country", "Amsterdam")""")
+        assert res.rows == [("Netherlands",)]
+
+    def test_point_in_country_join(self, gis):
+        p = planner_for(gis)
+        res = p.execute(
+            "SELECT ci.name, co.name FROM gis.city ci JOIN gis.country co "
+            "ON ST_Contains(ST_GeomFromText(co.boundary), ST_POINT(ci.x, ci.y)) "
+            "ORDER BY ci.name")
+        assert ("Amsterdam", "Netherlands") in res.rows
+        assert ("Brussels", "Belgium") in res.rows
+        assert not any(city == "Paris" for city, _ in res.rows)
+
+    def test_distance_function(self, gis):
+        p = planner_for(gis)
+        res = p.execute(
+            "SELECT ST_Distance(ST_POINT(0, 0), ST_POINT(3, 4))")
+        assert res.rows == [(5.0,)]
+
+    def test_st_x_y_astext(self, gis):
+        p = planner_for(gis)
+        res = p.execute("SELECT ST_X(ST_POINT(1.5, 2.5)), ST_Y(ST_POINT(1.5, 2.5)),"
+                        " ST_AsText(ST_POINT(1, 2))")
+        assert res.rows == [(1.5, 2.5, "POINT (1 2)")]
+
+    def test_st_dwithin(self, gis):
+        p = planner_for(gis)
+        res = p.execute(
+            "SELECT name FROM gis.city "
+            "WHERE ST_DWithin(ST_POINT(x, y), ST_POINT(4.9, 52.37), 1.0)")
+        assert res.rows == [("Amsterdam",)]
+
+    def test_geometry_type_in_validator(self, gis):
+        p = planner_for(gis)
+        rel = p.rel("SELECT ST_GeomFromText(boundary) AS g FROM gis.country")
+        assert rel.row_type.fields[0].type.type_name.value == "GEOMETRY"

@@ -1,0 +1,198 @@
+"""Unit tests for metadata providers, the cache, and the cost model."""
+
+import pytest
+
+from repro.core import rex as rexmod
+from repro.core.builder import RelBuilder
+from repro.core.cost import RelOptCost
+from repro.core.metadata import MetadataProvider, RelMetadataQuery
+from repro.core.rel import JoinRelType, LogicalFilter
+from repro.core.rex import RexCall, RexInputRef, literal
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+def scan(hr_catalog, name="emps"):
+    b = RelBuilder(hr_catalog)
+    return b.scan("hr", name).build()
+
+
+class TestRowCounts:
+    def test_scan_uses_table_statistic(self, hr_catalog):
+        mq = RelMetadataQuery()
+        assert mq.row_count(scan(hr_catalog)) == 5.0
+
+    def test_filter_applies_selectivity(self, hr_catalog):
+        mq = RelMetadataQuery()
+        emps = scan(hr_catalog)
+        eq = LogicalFilter(emps, RexCall(rexmod.EQUALS, [
+            RexInputRef(1, F.integer()), literal(10)]))
+        assert mq.row_count(eq) == pytest.approx(5 * 0.15)
+        cmp_ = LogicalFilter(emps, RexCall(rexmod.GREATER_THAN, [
+            RexInputRef(3, F.integer()), literal(0)]))
+        assert mq.row_count(cmp_) == pytest.approx(5 * 0.5)
+
+    def test_and_multiplies_selectivities(self, hr_catalog):
+        mq = RelMetadataQuery()
+        emps = scan(hr_catalog)
+        cond = RexCall(rexmod.AND, [
+            RexCall(rexmod.EQUALS, [RexInputRef(1, F.integer()), literal(10)]),
+            RexCall(rexmod.GREATER_THAN, [RexInputRef(3, F.integer()), literal(0)]),
+        ])
+        assert mq.row_count(LogicalFilter(emps, cond)) == pytest.approx(5 * 0.15 * 0.5)
+
+    def test_join_uses_distinct_counts(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps").scan("hr", "depts")
+                .join_using(JoinRelType.INNER, "deptno").build())
+        mq = RelMetadataQuery()
+        n = mq.row_count(rel)
+        assert 1.0 <= n <= 20.0  # bounded, not the cartesian 20
+
+    def test_sort_fetch_caps(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = b.scan("hr", "emps").limit(None, 2).build()
+        assert RelMetadataQuery().row_count(rel) == 2.0
+
+    def test_union_sums(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps").project_fields("deptno")
+        b.scan("hr", "depts").project_fields("deptno")
+        rel = b.union(all_=True).build()
+        assert RelMetadataQuery().row_count(rel) == 9.0
+
+    def test_aggregate_groups(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.aggregate(b.group_key("deptno")).build()
+        mq = RelMetadataQuery()
+        assert 1.0 <= mq.row_count(rel) <= 5.0
+
+    def test_global_aggregate_is_one_row(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.aggregate(b.group_key(), b.count_star("c")).build()
+        assert RelMetadataQuery().row_count(rel) == 1.0
+
+
+class TestUniquenessAndSizes:
+    def test_unique_declared_keys(self, hr_catalog):
+        from repro.schema.core import Statistic
+        hr = hr_catalog.resolve_schema(["hr"])
+        emps = hr.table("emps")
+        emps.statistic = Statistic(row_count=5, unique_keys=[[0]])
+        hr_catalog._opt_tables.clear()
+        rel = scan(hr_catalog)
+        mq = RelMetadataQuery()
+        assert mq.columns_unique(rel, (0,))
+        assert mq.columns_unique(rel, (0, 1))  # superset of a key
+        assert not mq.columns_unique(rel, (1,))
+
+    def test_aggregate_group_keys_unique(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        rel = b.aggregate(b.group_key("deptno"), b.count_star("c")).build()
+        assert RelMetadataQuery().columns_unique(rel, (0,))
+
+    def test_average_row_size(self, hr_catalog):
+        mq = RelMetadataQuery()
+        size = mq.average_row_size(scan(hr_catalog))
+        assert size > 0
+        assert mq.data_size(scan(hr_catalog)) == pytest.approx(size * 5)
+
+
+class TestCosts:
+    def test_cumulative_grows_with_depth(self, hr_catalog):
+        mq = RelMetadataQuery()
+        emps = scan(hr_catalog)
+        filtered = LogicalFilter(emps, RexCall(rexmod.GREATER_THAN, [
+            RexInputRef(3, F.integer()), literal(0)]))
+        assert mq.cumulative_cost(filtered).value > mq.cumulative_cost(emps).value
+
+    def test_cost_arithmetic(self):
+        a = RelOptCost(1, 2, 3)
+        b = RelOptCost(10, 20, 30)
+        assert (a + b).rows == 11
+        assert a.multiply_by(2).cpu == 4
+        assert a.is_lt(b)
+        assert RelOptCost.ZERO.is_le(a)
+        assert RelOptCost.INFINITY.is_infinite()
+        assert "rows" in str(a)
+        assert str(RelOptCost.INFINITY) == "{inf}"
+
+
+class TestCache:
+    def test_cache_hits_accumulate(self, hr_catalog):
+        mq = RelMetadataQuery(caching=True)
+        rel = scan(hr_catalog)
+        mq.row_count(rel)
+        before = mq.stats_hits
+        mq.row_count(rel)
+        assert mq.stats_hits == before + 1
+
+    def test_no_caching_never_hits(self, hr_catalog):
+        mq = RelMetadataQuery(caching=False)
+        rel = scan(hr_catalog)
+        mq.row_count(rel)
+        mq.row_count(rel)
+        assert mq.stats_hits == 0
+
+    def test_cache_saves_requests_on_deep_plans(self, hr_catalog):
+        """The paper's claim: caching helps when metadata kinds share
+        sub-computations (cardinality feeding cost, selectivity...)."""
+        b = RelBuilder(hr_catalog)
+        rel = (b.scan("hr", "emps").scan("hr", "depts")
+                .join_using(JoinRelType.INNER, "deptno").build())
+        cached = RelMetadataQuery(caching=True)
+        cached.cumulative_cost(rel)
+        cached.row_count(rel)
+        uncached = RelMetadataQuery(caching=False)
+        uncached.cumulative_cost(rel)
+        uncached.row_count(rel)
+        assert uncached.stats_requests > cached.stats_requests
+
+    def test_clear_cache(self, hr_catalog):
+        mq = RelMetadataQuery()
+        rel = scan(hr_catalog)
+        mq.row_count(rel)
+        mq.clear_cache()
+        hits = mq.stats_hits
+        mq.row_count(rel)
+        assert mq.stats_hits == hits  # re-computed, not hit
+
+
+class TestPluggableProviders:
+    def test_custom_provider_overrides_default(self, hr_catalog):
+        class Exact(MetadataProvider):
+            def row_count(self, rel, mq):
+                from repro.core.rel import TableScan
+                if isinstance(rel, TableScan):
+                    return 123.0
+                return None
+
+        mq = RelMetadataQuery([Exact()])
+        assert mq.row_count(scan(hr_catalog)) == 123.0
+
+    def test_provider_defers_with_none(self, hr_catalog):
+        class Silent(MetadataProvider):
+            pass
+
+        mq = RelMetadataQuery([Silent()])
+        assert mq.row_count(scan(hr_catalog)) == 5.0
+
+    def test_custom_selectivity(self, hr_catalog):
+        class Half(MetadataProvider):
+            def selectivity(self, rel, predicate, mq):
+                return 0.5 if predicate is not None else None
+
+        emps = scan(hr_catalog)
+        f = LogicalFilter(emps, RexCall(rexmod.EQUALS, [
+            RexInputRef(1, F.integer()), literal(10)]))
+        mq = RelMetadataQuery([Half()])
+        assert mq.row_count(f) == 2.5
+
+    def test_parallelism(self, hr_catalog):
+        mq = RelMetadataQuery()
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        agg = b.aggregate(b.group_key(), b.count_star("c")).build()
+        assert mq.max_parallelism(agg) == 1

@@ -1,0 +1,192 @@
+"""Unit tests for the two planner engines (Section 6)."""
+
+import pytest
+
+from repro.core import rex as rexmod
+from repro.core.builder import RelBuilder
+from repro.core.hep import HepMatchOrder, HepPlanner, HepProgram
+from repro.core.rel import (
+    Filter,
+    Join,
+    JoinRelType,
+    LogicalFilter,
+    LogicalProject,
+    Project,
+    TableScan,
+    count_nodes,
+)
+from repro.core.rex import RexCall, RexInputRef, literal
+from repro.core.rules import (
+    FilterIntoJoinRule,
+    FilterMergeRule,
+    ProjectMergeRule,
+    ProjectRemoveRule,
+    standard_logical_rules,
+)
+from repro.core.traits import Convention, RelTraitSet
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.core.volcano import CannotPlanError, VolcanoPlanner
+from repro.runtime import enumerable_rules, execute_to_list
+
+
+def filter_over_join(catalog):
+    """The Figure 4 shape: Filter above Join."""
+    b = RelBuilder(catalog)
+    b.scan("hr", "emps").scan("hr", "depts")
+    b.join_using(JoinRelType.INNER, "deptno")
+    cond = b.greater_than(b.field("sal"), b.literal(8000))
+    return LogicalFilter(b.build(), cond)
+
+
+class TestHepPlanner:
+    def test_fires_until_fixpoint(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        hep = HepPlanner(rules=[FilterIntoJoinRule()])
+        result = hep.find_best_exp(rel)
+        # filter moved below the join
+        assert isinstance(result, Join)
+        assert isinstance(result.left, Filter)
+        assert hep.matches_fired >= 1
+
+    def test_no_rules_is_identity(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        assert HepPlanner(rules=[]).find_best_exp(rel) is rel
+
+    def test_filter_merge(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps")
+        inner = LogicalFilter(b.build(), RexCall(rexmod.GREATER_THAN, [
+            RexInputRef(3, F.integer()), literal(1)]))
+        outer = LogicalFilter(inner, RexCall(rexmod.LESS_THAN, [
+            RexInputRef(3, F.integer()), literal(99999)]))
+        result = HepPlanner(rules=[FilterMergeRule()]).find_best_exp(outer)
+        assert isinstance(result, Filter)
+        assert isinstance(result.input, TableScan)
+
+    def test_multi_stage_program(self, hr_catalog):
+        program = HepProgram()
+        program.add_rule(FilterIntoJoinRule(), HepMatchOrder.TOP_DOWN)
+        program.add_rule_collection([ProjectMergeRule(), ProjectRemoveRule()],
+                                    HepMatchOrder.BOTTOM_UP)
+        rel = filter_over_join(hr_catalog)
+        result = HepPlanner(program).find_best_exp(rel)
+        assert isinstance(result, Join)
+
+    def test_match_limit_stops_runaway(self, hr_catalog):
+        # JoinCommuteRule alone would flip forever; the limit stops it.
+        from repro.core.rules import JoinCommuteRule
+        b = RelBuilder(hr_catalog)
+        b.scan("hr", "emps").scan("hr", "depts")
+        rel = b.join_using(JoinRelType.INNER, "deptno").build()
+        program = HepProgram().add_rule(JoinCommuteRule(), match_limit=5)
+        hep = HepPlanner(program)
+        hep.find_best_exp(rel)
+        assert hep.matches_fired <= 5
+
+    def test_semantics_preserved(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        before = sorted(execute_to_list(rel))
+        after_rel = HepPlanner(rules=standard_logical_rules()).find_best_exp(rel)
+        assert sorted(execute_to_list(after_rel)) == before
+
+
+class TestVolcanoPlanner:
+    def _plan(self, rel, **kwargs):
+        planner = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules(), **kwargs)
+        return planner, planner.optimize(rel)
+
+    def test_produces_enumerable_plan(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        _, best = self._plan(rel)
+        assert best.convention is Convention.ENUMERABLE
+
+    def test_semantics_preserved(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        before = sorted(execute_to_list(rel))
+        _, best = self._plan(rel)
+        assert sorted(execute_to_list(best)) == before
+
+    def test_digest_deduplication(self, hr_catalog):
+        """Registering the same expression twice yields one set."""
+        b = RelBuilder(hr_catalog)
+        rel1 = b.scan("hr", "emps").build()
+        b2 = RelBuilder(hr_catalog)
+        rel2 = b2.scan("hr", "emps").build()
+        planner = VolcanoPlanner(rules=[])
+        s1 = planner.register(rel1)
+        s2 = planner.register(rel2)
+        assert s1.rel_set.canonical() is s2.rel_set.canonical()
+
+    def test_equivalence_set_grows_on_transform(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        planner = VolcanoPlanner(rules=[FilterIntoJoinRule()])
+        subset = planner.register(rel)
+        # drain the queue manually
+        planner.optimize = planner.optimize  # noqa: readability
+        try:
+            planner.find_best_exp(rel, RelTraitSet(Convention.NONE))
+        except CannotPlanError:
+            pass
+        assert len(subset.rel_set.canonical().rels) >= 2
+
+    def test_cannot_plan_without_converters(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        planner = VolcanoPlanner(rules=[])  # no enumerable rules
+        with pytest.raises(CannotPlanError):
+            planner.optimize(rel)
+
+    def test_cost_improves_with_pushdown_rules(self, hr_catalog):
+        rel = filter_over_join(hr_catalog)
+        p_min = VolcanoPlanner(rules=enumerable_rules())
+        p_min.optimize(rel)
+        cost_without = p_min.best_cost()
+        p_full = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules())
+        p_full.optimize(rel)
+        cost_with = p_full.best_cost()
+        assert cost_with.value <= cost_without.value
+
+    def test_heuristic_mode_stops_early(self, sales_catalog):
+        b = RelBuilder(sales_catalog)
+        b.scan("s", "sales").scan("s", "products")
+        b.join_using(JoinRelType.INNER, "productId")
+        cond = b.is_not_null(b.field("discount"))
+        rel = LogicalFilter(b.build(), cond)
+        from repro.core.rules import join_reorder_rules
+        rules = standard_logical_rules() + join_reorder_rules() + enumerable_rules()
+        exhaustive = VolcanoPlanner(rules=rules, exhaustive=True)
+        exhaustive.optimize(rel)
+        eager = VolcanoPlanner(rules=rules, exhaustive=False,
+                               delta=0.0, patience=5)
+        eager.optimize(rel)
+        assert eager.matches_fired <= exhaustive.matches_fired
+
+    def test_join_reordering_beats_fixed_order(self, hr_catalog):
+        """Volcano with commute/associate explores cheaper join orders."""
+        from repro.core.rules import join_reorder_rules
+        b = RelBuilder(hr_catalog)
+        # big x big, then x small — reordering can join small first
+        b.scan("hr", "emps").scan("hr", "emps")
+        b.join_using(JoinRelType.INNER, "deptno")
+        b.scan("hr", "depts")
+        b.join_using(JoinRelType.INNER, "deptno")
+        rel = b.build()
+        base = VolcanoPlanner(rules=standard_logical_rules() + enumerable_rules())
+        base.optimize(rel)
+        reorder = VolcanoPlanner(rules=standard_logical_rules()
+                                 + join_reorder_rules() + enumerable_rules())
+        best = reorder.optimize(rel)
+        assert reorder.best_cost().value <= base.best_cost().value
+        # results must be identical regardless of order
+        assert sorted(execute_to_list(best)) == sorted(execute_to_list(rel))
+
+    def test_change_traits_returns_subset(self, hr_catalog):
+        b = RelBuilder(hr_catalog)
+        rel = b.scan("hr", "emps").build()
+        planner = VolcanoPlanner(rules=[])
+        subset = planner.register(rel)
+        enum_subset = planner.change_traits(
+            subset, RelTraitSet(Convention.ENUMERABLE))
+        assert enum_subset.rel_set.canonical() is subset.rel_set.canonical()
+        assert enum_subset.traits.convention is Convention.ENUMERABLE

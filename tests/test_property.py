@@ -1,0 +1,248 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The central invariant of the whole framework: every rule application
+and every planner pass preserves query semantics.  These tests generate
+random data and predicates and check optimized plans against direct
+evaluation of the logical plan.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core import rex as rexmod
+from repro.core.builder import RelBuilder
+from repro.core.hep import HepPlanner
+from repro.core.rel import JoinRelType, LogicalFilter
+from repro.core.rex import RexCall, RexInputRef, literal
+from repro.core.rex_eval import RexExecutionError, evaluate
+from repro.core.rex_simplify import simplify
+from repro.core.rules import standard_logical_rules
+from repro.core.traits import RelCollation, RelFieldCollation
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.core.volcano import VolcanoPlanner
+from repro.runtime import enumerable_rules
+from repro.runtime.enumerable import Enumerable
+from repro.runtime.operators import execute_to_list, sort_rows
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 5),
+              st.one_of(st.none(), st.integers(-100, 100)),
+              st.integers(-1000, 1000)),
+    max_size=30)
+
+int_or_none = st.one_of(st.none(), st.integers(-50, 50))
+
+
+def _comparison(col: int, op, value: int) -> RexCall:
+    return RexCall(op, [RexInputRef(col, F.integer()), literal(value)])
+
+
+predicate_strategy = st.recursive(
+    st.builds(_comparison,
+              st.integers(0, 2),
+              st.sampled_from([rexmod.EQUALS, rexmod.NOT_EQUALS,
+                               rexmod.LESS_THAN, rexmod.GREATER_THAN,
+                               rexmod.LESS_THAN_OR_EQUAL]),
+              st.integers(-100, 100)),
+    lambda children: st.one_of(
+        st.builds(lambda a, b: RexCall(rexmod.AND, [a, b]), children, children),
+        st.builds(lambda a, b: RexCall(rexmod.OR, [a, b]), children, children),
+        st.builds(lambda a: RexCall(rexmod.NOT, [a]), children),
+    ),
+    max_leaves=6)
+
+
+def _values_rel(rows):
+    b = RelBuilder()
+    if not rows:
+        rows = [(0, None, 0)]
+    return b.values(["g", "v", "w"], *rows).build()
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+class TestSimplifyPreservesSemantics:
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_simplified_predicate_equivalent(self, rows, predicate):
+        simplified = simplify(predicate)
+        for row in rows:
+            assert evaluate(predicate, row) == evaluate(simplified, row)
+
+
+class TestPlannersPreserveSemantics:
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_hep_rewrites_preserve_rows(self, rows, predicate):
+        rel = LogicalFilter(_values_rel(rows), predicate)
+        rewritten = HepPlanner(rules=standard_logical_rules()).find_best_exp(rel)
+        assert sorted(execute_to_list(rewritten),
+                      key=repr) == sorted(execute_to_list(rel), key=repr)
+
+    @given(rows=rows_strategy, predicate=predicate_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_volcano_plans_preserve_rows(self, rows, predicate):
+        rel = LogicalFilter(_values_rel(rows), predicate)
+        planner = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules())
+        best = planner.optimize(rel)
+        assert sorted(execute_to_list(best),
+                      key=repr) == sorted(execute_to_list(rel), key=repr)
+
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_join_plans_preserve_rows(self, left, right):
+        b = RelBuilder()
+        b.push(_values_rel(left))
+        b.push(_values_rel(right))
+        rel = b.join_using(JoinRelType.INNER, "g").build()
+        planner = VolcanoPlanner(
+            rules=standard_logical_rules() + enumerable_rules())
+        best = planner.optimize(rel)
+        assert sorted(execute_to_list(best),
+                      key=repr) == sorted(execute_to_list(rel), key=repr)
+
+
+class TestAggregateInvariants:
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_group_sums_match_python(self, rows):
+        rel = _values_rel(rows)
+        b = RelBuilder()
+        b.push(rel)
+        agg = b.aggregate(b.group_key("g"),
+                          b.sum(False, "s", b.field("w")),
+                          b.count_star("c")).build()
+        result = {g: (s, c) for g, s, c in execute_to_list(agg)}
+        effective = rows or [(0, None, 0)]
+        expected = {}
+        for g, _v, w in effective:
+            s, c = expected.get(g, (0, 0))
+            expected[g] = (s + w, c + 1)
+        assert result == expected
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_count_args_skips_nulls(self, rows):
+        rel = _values_rel(rows)
+        b = RelBuilder()
+        b.push(rel)
+        agg = b.aggregate(b.group_key(),
+                          b.count(False, "c", b.field("v"))).build()
+        (row,) = execute_to_list(agg)
+        effective = rows or [(0, None, 0)]
+        assert row[0] == sum(1 for r in effective if r[1] is not None)
+
+
+class TestSortInvariants:
+    @given(rows=st.lists(st.tuples(int_or_none, st.integers(0, 9)), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_sort_matches_python_semantics(self, rows):
+        out = sort_rows(list(rows), RelCollation([RelFieldCollation(0)]))
+        non_null = [r for r in rows if r[0] is not None]
+        nulls = [r for r in rows if r[0] is None]
+        assert [r[0] for r in out] == \
+            [r[0] for r in sorted(non_null, key=lambda r: r[0])] + [None] * len(nulls)
+
+    @given(rows=st.lists(st.tuples(st.integers(-5, 5), st.integers(0, 9)),
+                         max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_sort_is_stable(self, rows):
+        out = sort_rows(list(rows), RelCollation([RelFieldCollation(0)]))
+        for key in set(r[0] for r in rows):
+            mine = [r for r in out if r[0] == key]
+            original = [r for r in rows if r[0] == key]
+            assert mine == original
+
+
+class TestEnumerableMatchesPython:
+    @given(items=st.lists(st.integers(-100, 100), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_where_select(self, items):
+        out = (Enumerable.of(items)
+               .where(lambda x: x % 2 == 0)
+               .select(lambda x: x * 3)
+               .to_list())
+        assert out == [x * 3 for x in items if x % 2 == 0]
+
+    @given(items=st.lists(st.integers(-100, 100), max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_order(self, items):
+        out = Enumerable.of(items).distinct().order_by(lambda x: x).to_list()
+        assert out == sorted(set(items))
+
+    @given(a=st.lists(st.integers(0, 20), max_size=30),
+           b=st.lists(st.integers(0, 20), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_set_operations(self, a, b):
+        ea, eb = Enumerable.of(a), Enumerable.of(b)
+        assert set(ea.intersect(eb)) == set(a) & set(b)
+        assert set(ea.except_(eb)) == set(a) - set(b)
+        assert set(ea.union(eb)) == set(a) | set(b)
+
+    @given(items=st.lists(st.integers(1, 100), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_aggregates(self, items):
+        e = Enumerable.of(items)
+        assert e.sum() == sum(items)
+        assert e.min() == min(items)
+        assert e.max() == max(items)
+        assert e.count() == len(items)
+        assert math.isclose(e.average(), sum(items) / len(items))
+
+
+class TestDigestInvariants:
+    @given(predicate=predicate_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_digest_deterministic(self, predicate):
+        rel1 = LogicalFilter(_values_rel([(1, 2, 3)]), predicate)
+        rel2 = LogicalFilter(_values_rel([(1, 2, 3)]), predicate)
+        assert rel1.digest == rel2.digest
+
+    @given(predicate=predicate_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_volcano_registration_idempotent(self, predicate):
+        planner = VolcanoPlanner(rules=[])
+        rel = LogicalFilter(_values_rel([(1, 2, 3)]), predicate)
+        s1 = planner.register(rel)
+        s2 = planner.register(rel.copy())
+        assert s1.rel_set.canonical() is s2.rel_set.canonical()
+
+
+class TestWktRoundtrip:
+    @given(x=st.floats(-180, 180, allow_nan=False),
+           y=st.floats(-90, 90, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_point_roundtrip(self, x, y):
+        from repro.geo import Point, parse_wkt
+        p = Point(x, y)
+        assert parse_wkt(p.wkt()) == p
+
+    @given(ts=st.integers(0, 10**12), size=st.integers(1, 10**7))
+    @settings(max_examples=60, deadline=None)
+    def test_tumble_covers_timestamp(self, ts, size):
+        from repro.stream import tumble
+        start, end = tumble(ts, size)
+        assert start <= ts < end
+        assert end - start == size
+        assert start % size == 0
+
+    @given(ts=st.integers(0, 10**10),
+           slide=st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_hop_windows_all_cover_timestamp(self, ts, slide):
+        from repro.stream import hop
+        size = slide * 3
+        windows = hop(ts, slide, size)
+        assert windows, "every timestamp belongs to at least one window"
+        for start, end in windows:
+            assert start <= ts < end
+            assert end - start == size

@@ -1,0 +1,181 @@
+"""Unit tests for row expressions: digests, visitors, helpers."""
+
+import pytest
+
+from repro.core import rex as rexmod
+from repro.core.rex import (
+    InputRefRemapper,
+    InputRefShifter,
+    RexCall,
+    RexFieldAccess,
+    RexInputRef,
+    RexLiteral,
+    RexOver,
+    RexWindowBound,
+    SqlKind,
+    compose_conjunction,
+    contains_over,
+    decompose_conjunction,
+    decompose_disjunction,
+    input_refs_used,
+    literal,
+)
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+class TestLiterals:
+    def test_type_inference(self):
+        assert literal(5).type.type_name.value == "INTEGER"
+        assert literal(1.5).type.type_name.value == "DOUBLE"
+        assert literal("x").type.is_character
+        assert literal(True).type.is_boolean
+        assert literal(None).type.type_name.value == "NULL"
+
+    def test_digest(self):
+        assert literal(5).digest == "5"
+        assert literal("ab").digest == "'ab'"
+
+    def test_always_true_false(self):
+        assert literal(True).is_always_true()
+        assert literal(False).is_always_false()
+        assert not literal(1).is_always_true()
+
+
+class TestCalls:
+    def test_equality_by_digest(self):
+        a = RexCall(rexmod.PLUS, [literal(1), literal(2)])
+        b = RexCall(rexmod.PLUS, [literal(1), literal(2)])
+        assert a == b
+        assert hash(a) == hash(b)
+        c = RexCall(rexmod.PLUS, [literal(2), literal(1)])
+        assert a != c
+
+    def test_return_type_inference(self):
+        cmp = RexCall(rexmod.LESS_THAN, [literal(1), literal(2)])
+        assert cmp.type.is_boolean
+        total = RexCall(rexmod.PLUS, [literal(1), literal(2.5)])
+        assert total.type.type_name.value == "DOUBLE"
+
+    def test_input_ref_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RexInputRef(-1, F.integer())
+
+    def test_clone_preserves_type(self):
+        call = RexCall(rexmod.CAST, [literal(1)], F.varchar())
+        clone = call.clone([literal(2)])
+        assert clone.type is call.type
+
+    def test_field_access_digest(self):
+        fa = RexFieldAccess(RexInputRef(0, F.struct(["x"], [F.integer()])),
+                            "x", F.integer())
+        assert fa.digest == "$0.x"
+
+
+class TestKindAlgebra:
+    def test_reverse(self):
+        assert SqlKind.LESS_THAN.reverse() is SqlKind.GREATER_THAN
+        assert SqlKind.EQUALS.reverse() is SqlKind.EQUALS
+
+    def test_negate(self):
+        assert SqlKind.EQUALS.negate() is SqlKind.NOT_EQUALS
+        assert SqlKind.LESS_THAN.negate() is SqlKind.GREATER_THAN_OR_EQUAL
+        assert SqlKind.AND.negate() is None
+
+
+class TestConjunctions:
+    def test_decompose_nested(self):
+        a = RexCall(rexmod.EQUALS, [RexInputRef(0, F.integer()), literal(1)])
+        b = RexCall(rexmod.EQUALS, [RexInputRef(1, F.integer()), literal(2)])
+        c = RexCall(rexmod.EQUALS, [RexInputRef(2, F.integer()), literal(3)])
+        node = RexCall(rexmod.AND, [RexCall(rexmod.AND, [a, b]), c])
+        assert decompose_conjunction(node) == [a, b, c]
+
+    def test_decompose_true_is_empty(self):
+        assert decompose_conjunction(literal(True)) == []
+        assert decompose_conjunction(None) == []
+
+    def test_compose_roundtrip(self):
+        a = RexCall(rexmod.EQUALS, [RexInputRef(0, F.integer()), literal(1)])
+        b = RexCall(rexmod.EQUALS, [RexInputRef(1, F.integer()), literal(2)])
+        composed = compose_conjunction([a, b])
+        assert decompose_conjunction(composed) == [a, b]
+
+    def test_compose_empty_is_none(self):
+        assert compose_conjunction([]) is None
+        assert compose_conjunction([literal(True)]) is None
+
+    def test_decompose_disjunction(self):
+        a = literal(1)
+        b = literal(2)
+        node = RexCall(rexmod.OR, [a, b])
+        assert decompose_disjunction(node) == [a, b]
+
+
+class TestVisitors:
+    def test_input_refs_used(self):
+        expr = RexCall(rexmod.AND, [
+            RexCall(rexmod.EQUALS, [RexInputRef(0, F.integer()), literal(1)]),
+            RexCall(rexmod.GREATER_THAN, [RexInputRef(3, F.integer()),
+                                          RexInputRef(5, F.integer())]),
+        ])
+        assert input_refs_used(expr) == {0, 3, 5}
+
+    def test_shifter(self):
+        expr = RexCall(rexmod.PLUS, [RexInputRef(2, F.integer()),
+                                     RexInputRef(5, F.integer())])
+        shifted = InputRefShifter(-2).apply(expr)
+        assert input_refs_used(shifted) == {0, 3}
+
+    def test_shifter_with_start(self):
+        expr = RexCall(rexmod.PLUS, [RexInputRef(1, F.integer()),
+                                     RexInputRef(5, F.integer())])
+        shifted = InputRefShifter(10, start=3).apply(expr)
+        assert input_refs_used(shifted) == {1, 15}
+
+    def test_remapper_to_expr(self):
+        expr = RexInputRef(0, F.integer())
+        mapped = InputRefRemapper({0: literal(42)}).apply(expr)
+        assert mapped.digest == "42"
+
+    def test_shuttle_identity_preserved(self):
+        expr = RexCall(rexmod.PLUS, [literal(1), literal(2)])
+        assert InputRefShifter(3).apply(expr) is expr
+
+
+class TestWindows:
+    def _over(self):
+        return RexOver(rexmod.SUM, [RexInputRef(1, F.integer())],
+                       [RexInputRef(0, F.integer())],
+                       [(RexInputRef(2, F.integer()), False)],
+                       RexWindowBound.UNBOUNDED_PRECEDING,
+                       RexWindowBound.CURRENT_ROW, rows=True)
+
+    def test_digest_mentions_window(self):
+        d = self._over().digest
+        assert "PARTITION BY $0" in d
+        assert "ORDER BY $2" in d
+        assert "ROWS BETWEEN" in d
+
+    def test_contains_over(self):
+        over = self._over()
+        wrapped = RexCall(rexmod.PLUS, [over, literal(1)])
+        assert contains_over(wrapped)
+        assert not contains_over(literal(1))
+
+    def test_bad_bound_kind(self):
+        with pytest.raises(ValueError):
+            RexWindowBound("SIDEWAYS")
+
+
+class TestOperatorTable:
+    def test_lookup_case_insensitive(self):
+        assert rexmod.OPERATORS.lookup("count") is rexmod.COUNT
+        assert rexmod.OPERATORS.lookup("SUM") is rexmod.SUM
+
+    def test_register_function(self):
+        op = rexmod.register_function("MY_TEST_FN")
+        assert rexmod.OPERATORS.lookup("my_test_fn") is op
+
+    def test_aggregate_flag(self):
+        assert rexmod.SUM.is_aggregate
+        assert not rexmod.PLUS.is_aggregate

@@ -1,0 +1,214 @@
+"""Unit tests for the row-expression interpreter (three-valued logic)."""
+
+import pytest
+
+from repro.core import rex as rexmod
+from repro.core.rex import RexCall, RexDynamicParam, RexInputRef, literal
+from repro.core.rex_eval import (
+    EvalContext,
+    RexExecutionError,
+    cast_value,
+    evaluate,
+)
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+def ref(i, type_=None):
+    return RexInputRef(i, type_ or F.integer())
+
+
+def call(op, *operands):
+    return RexCall(op, list(operands))
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate(call(rexmod.PLUS, literal(2), literal(3)), ()) == 5
+        assert evaluate(call(rexmod.TIMES, literal(2), literal(3)), ()) == 6
+        assert evaluate(call(rexmod.MINUS, literal(2), literal(3)), ()) == -1
+
+    def test_integer_division(self):
+        assert evaluate(call(rexmod.DIVIDE, literal(7), literal(2)), ()) == 3.5
+        assert evaluate(call(rexmod.DIVIDE, literal(6), literal(2)), ()) == 3
+
+    def test_division_by_zero(self):
+        with pytest.raises(RexExecutionError):
+            evaluate(call(rexmod.DIVIDE, literal(1), literal(0)), ())
+
+    def test_null_propagates(self):
+        assert evaluate(call(rexmod.PLUS, literal(None), literal(3)), ()) is None
+
+    def test_mod(self):
+        assert evaluate(call(rexmod.MOD, literal(7), literal(3)), ()) == 1
+
+
+class TestThreeValuedLogic:
+    def test_and(self):
+        t, f, n = literal(True), literal(False), literal(None)
+        assert evaluate(call(rexmod.AND, t, t), ()) is True
+        assert evaluate(call(rexmod.AND, t, f), ()) is False
+        assert evaluate(call(rexmod.AND, f, n), ()) is False  # short circuit
+        assert evaluate(call(rexmod.AND, t, n), ()) is None
+
+    def test_or(self):
+        t, f, n = literal(True), literal(False), literal(None)
+        assert evaluate(call(rexmod.OR, f, t), ()) is True
+        assert evaluate(call(rexmod.OR, t, n), ()) is True
+        assert evaluate(call(rexmod.OR, f, n), ()) is None
+
+    def test_not(self):
+        assert evaluate(call(rexmod.NOT, literal(True)), ()) is False
+        assert evaluate(call(rexmod.NOT, literal(None)), ()) is None
+
+    def test_null_comparison_is_null(self):
+        assert evaluate(call(rexmod.EQUALS, literal(None), literal(1)), ()) is None
+
+    def test_is_null_tests(self):
+        assert evaluate(call(rexmod.IS_NULL, literal(None)), ()) is True
+        assert evaluate(call(rexmod.IS_NOT_NULL, literal(None)), ()) is False
+        assert evaluate(call(rexmod.IS_TRUE, literal(None)), ()) is False
+
+
+class TestRowAccess:
+    def test_input_ref(self):
+        assert evaluate(ref(1), (10, 20)) == 20
+
+    def test_dynamic_param(self):
+        ctx = EvalContext(parameters=[42])
+        assert evaluate(RexDynamicParam(0, F.any()), (), ctx) == 42
+
+    def test_unbound_param_raises(self):
+        with pytest.raises(RexExecutionError):
+            evaluate(RexDynamicParam(2, F.any()), (), EvalContext())
+
+
+class TestStringFunctions:
+    def test_like(self):
+        assert evaluate(call(rexmod.LIKE, literal("hello"), literal("he%")), ()) is True
+        assert evaluate(call(rexmod.LIKE, literal("hello"), literal("h_llo")), ()) is True
+        assert evaluate(call(rexmod.LIKE, literal("hello"), literal("x%")), ()) is False
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate(call(rexmod.LIKE, literal("a.c"), literal("a.c")), ()) is True
+        assert evaluate(call(rexmod.LIKE, literal("abc"), literal("a.c")), ()) is False
+
+    def test_concat_upper_lower(self):
+        assert evaluate(call(rexmod.CONCAT, literal("a"), literal("b")), ()) == "ab"
+        assert evaluate(call(rexmod.UPPER, literal("ab")), ()) == "AB"
+        assert evaluate(call(rexmod.LOWER, literal("AB")), ()) == "ab"
+
+    def test_substring(self):
+        assert evaluate(call(rexmod.SUBSTRING, literal("hello"), literal(2)), ()) == "ello"
+        assert evaluate(
+            call(rexmod.SUBSTRING, literal("hello"), literal(2), literal(3)), ()) == "ell"
+
+    def test_char_length_trim(self):
+        assert evaluate(call(rexmod.CHAR_LENGTH, literal("abc")), ()) == 3
+        assert evaluate(call(rexmod.TRIM, literal("  x ")), ()) == "x"
+
+
+class TestSpecialForms:
+    def test_case(self):
+        expr = RexCall(rexmod.CASE, [
+            call(rexmod.GREATER_THAN, ref(0), literal(10)), literal("big"),
+            literal("small")], F.varchar())
+        assert evaluate(expr, (20,)) == "big"
+        assert evaluate(expr, (5,)) == "small"
+
+    def test_case_no_else(self):
+        expr = RexCall(rexmod.CASE, [
+            call(rexmod.GREATER_THAN, ref(0), literal(10)), literal("big")],
+            F.varchar())
+        assert evaluate(expr, (5,)) is None
+
+    def test_coalesce(self):
+        expr = call(rexmod.COALESCE, literal(None), literal(None), literal(7))
+        assert evaluate(expr, ()) == 7
+
+    def test_in_list(self):
+        expr = call(rexmod.IN, ref(0), literal(1), literal(2))
+        assert evaluate(expr, (2,)) is True
+        assert evaluate(expr, (3,)) is False
+
+    def test_in_with_null_candidate(self):
+        expr = call(rexmod.IN, ref(0), literal(1), literal(None))
+        assert evaluate(expr, (1,)) is True
+        assert evaluate(expr, (3,)) is None  # unknown, not false
+
+    def test_between(self):
+        expr = call(rexmod.BETWEEN, ref(0), literal(1), literal(5))
+        assert evaluate(expr, (3,)) is True
+        assert evaluate(expr, (9,)) is False
+
+    def test_item_array_one_based(self):
+        arr = literal(["a", "b"], F.array(F.varchar()))
+        assert evaluate(call(rexmod.ITEM, arr, literal(1)), ()) == "a"
+        assert evaluate(call(rexmod.ITEM, arr, literal(3)), ()) is None
+
+    def test_item_map(self):
+        m = literal({"city": "SF"}, F.map(F.varchar(), F.any()))
+        assert evaluate(call(rexmod.ITEM, m, literal("city")), ()) == "SF"
+        assert evaluate(call(rexmod.ITEM, m, literal("nope")), ()) is None
+
+    def test_row_constructor(self):
+        expr = call(rexmod.ROW, literal(1), literal("a"))
+        assert evaluate(expr, ()) == (1, "a")
+
+
+class TestCast:
+    def test_numeric_casts(self):
+        assert cast_value("42", F.integer()) == 42
+        assert cast_value("4.5", F.double()) == 4.5
+        assert cast_value(3.9, F.integer()) == 3
+        assert cast_value("3.5", F.integer()) == 3
+
+    def test_string_cast_truncates(self):
+        assert cast_value(12345, F.varchar(3)) == "123"
+
+    def test_boolean_cast(self):
+        assert cast_value("true", F.boolean()) is True
+        assert cast_value("no", F.boolean()) is False
+        assert cast_value(0, F.boolean()) is False
+
+    def test_null_passthrough(self):
+        assert cast_value(None, F.integer()) is None
+
+    def test_bad_cast_raises(self):
+        with pytest.raises(RexExecutionError):
+            cast_value("abc", F.integer())
+
+    def test_cast_call(self):
+        expr = RexCall(rexmod.CAST, [literal("7")], F.integer())
+        assert evaluate(expr, ()) == 7
+
+
+class TestMathFunctions:
+    def test_abs_floor_ceil(self):
+        assert evaluate(call(rexmod.ABS, literal(-3)), ()) == 3
+        assert evaluate(call(rexmod.FLOOR, literal(3.7)), ()) == 3
+        assert evaluate(call(rexmod.CEIL, literal(3.2)), ()) == 4
+
+    def test_power_sqrt(self):
+        assert evaluate(call(rexmod.POWER, literal(2), literal(10)), ()) == 1024.0
+        assert evaluate(call(rexmod.SQRT, literal(16)), ()) == 4.0
+
+
+class TestRegisteredFunctions:
+    def test_registry_dispatch(self):
+        from repro.core.rex_eval import register_runtime_function
+        op = rexmod.register_function("DOUBLE_IT_TEST")
+        register_runtime_function("DOUBLE_IT_TEST", lambda x: x * 2)
+        assert evaluate(call(op, literal(21)), ()) == 42
+
+    def test_unknown_function_raises(self):
+        op = rexmod.SqlOperator("NO_IMPL_FN", rexmod.SqlKind.FUNCTION)
+        with pytest.raises(RexExecutionError):
+            evaluate(RexCall(op, [literal(1)]), ())
+
+
+class TestTumble:
+    def test_tumble_buckets(self):
+        expr = call(rexmod.TUMBLE, literal(3_700_000), literal(3_600_000))
+        assert evaluate(expr, ()) == 3_600_000
+        end = call(rexmod.TUMBLE_END, literal(3_700_000), literal(3_600_000))
+        assert evaluate(end, ()) == 7_200_000

@@ -1,0 +1,150 @@
+"""Unit tests for expression simplification / constant folding."""
+
+from repro.core import rex as rexmod
+from repro.core.rex import RexCall, RexInputRef, RexLiteral, literal
+from repro.core.rex_simplify import is_constant, simplify
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+
+
+def ref(i, nullable=True):
+    return RexInputRef(i, F.integer(nullable))
+
+
+def call(op, *operands):
+    return RexCall(op, list(operands))
+
+
+class TestConstantFolding:
+    def test_arithmetic(self):
+        folded = simplify(call(rexmod.PLUS, literal(2), literal(3)))
+        assert isinstance(folded, RexLiteral) and folded.value == 5
+
+    def test_nested(self):
+        expr = call(rexmod.TIMES, call(rexmod.PLUS, literal(1), literal(2)),
+                    literal(4))
+        assert simplify(expr).value == 12
+
+    def test_comparison(self):
+        assert simplify(call(rexmod.LESS_THAN, literal(1), literal(2))).value is True
+
+    def test_non_constant_untouched(self):
+        expr = call(rexmod.PLUS, ref(0), literal(3))
+        assert simplify(expr).digest == expr.digest
+
+    def test_partial_fold_inside(self):
+        expr = call(rexmod.PLUS, ref(0),
+                    call(rexmod.TIMES, literal(2), literal(5)))
+        assert simplify(expr).digest == "+($0, 10)"
+
+    def test_error_during_fold_left_alone(self):
+        expr = call(rexmod.DIVIDE, literal(1), literal(0))
+        assert simplify(expr).digest == expr.digest
+
+    def test_is_constant(self):
+        assert is_constant(literal(1))
+        assert is_constant(call(rexmod.PLUS, literal(1), literal(2)))
+        assert not is_constant(ref(0))
+
+
+class TestAndSimplification:
+    def test_true_removed(self):
+        cond = call(rexmod.EQUALS, ref(0), literal(1))
+        expr = call(rexmod.AND, literal(True), cond)
+        assert simplify(expr).digest == cond.digest
+
+    def test_false_dominates(self):
+        expr = call(rexmod.AND, call(rexmod.EQUALS, ref(0), literal(1)),
+                    literal(False))
+        assert simplify(expr).is_always_false()
+
+    def test_duplicates_removed(self):
+        cond = call(rexmod.EQUALS, ref(0), literal(1))
+        expr = call(rexmod.AND, cond, cond)
+        assert simplify(expr).digest == cond.digest
+
+    def test_contradiction(self):
+        cond = call(rexmod.IS_NULL, ref(0))
+        expr = call(rexmod.AND, cond, call(rexmod.NOT, cond))
+        assert simplify(expr).is_always_false()
+
+    def test_all_true_collapses(self):
+        expr = call(rexmod.AND, literal(True), literal(True))
+        assert simplify(expr).is_always_true()
+
+
+class TestOrSimplification:
+    def test_true_dominates(self):
+        expr = call(rexmod.OR, call(rexmod.EQUALS, ref(0), literal(1)),
+                    literal(True))
+        assert simplify(expr).is_always_true()
+
+    def test_false_removed(self):
+        cond = call(rexmod.EQUALS, ref(0), literal(1))
+        expr = call(rexmod.OR, literal(False), cond)
+        assert simplify(expr).digest == cond.digest
+
+    def test_all_false(self):
+        expr = call(rexmod.OR, literal(False), literal(False))
+        assert simplify(expr).is_always_false()
+
+
+class TestNotSimplification:
+    def test_double_negation(self):
+        cond = call(rexmod.IS_NULL, ref(0))
+        expr = call(rexmod.NOT, call(rexmod.NOT, cond))
+        assert simplify(expr).digest == cond.digest
+
+    def test_not_comparison_inverted(self):
+        expr = call(rexmod.NOT, call(rexmod.LESS_THAN, ref(0), literal(5)))
+        assert simplify(expr).digest == ">=($0, 5)"
+
+    def test_not_true(self):
+        assert simplify(call(rexmod.NOT, literal(True))).is_always_false()
+
+
+class TestNullabilityRules:
+    def test_is_null_on_not_null_field(self):
+        expr = call(rexmod.IS_NULL, ref(0, nullable=False))
+        assert simplify(expr).is_always_false()
+
+    def test_is_not_null_on_not_null_field(self):
+        expr = call(rexmod.IS_NOT_NULL, ref(0, nullable=False))
+        assert simplify(expr).is_always_true()
+
+    def test_is_null_on_nullable_untouched(self):
+        expr = call(rexmod.IS_NULL, ref(0, nullable=True))
+        assert simplify(expr).digest == expr.digest
+
+    def test_self_equality_not_null(self):
+        r = ref(0, nullable=False)
+        assert simplify(call(rexmod.EQUALS, r, r)).is_always_true()
+
+    def test_self_equality_nullable_kept(self):
+        r = ref(0, nullable=True)
+        expr = call(rexmod.EQUALS, r, r)
+        assert simplify(expr).digest == expr.digest
+
+
+class TestCaseSimplification:
+    def test_false_branch_dropped(self):
+        expr = RexCall(rexmod.CASE, [
+            literal(False), literal("dead"),
+            call(rexmod.EQUALS, ref(0), literal(1)), literal("live"),
+            literal("else")], F.varchar())
+        s = simplify(expr)
+        assert "dead" not in s.digest
+
+    def test_leading_true_collapses(self):
+        expr = RexCall(rexmod.CASE, [
+            literal(True), literal("only"), literal("else")], F.varchar())
+        assert simplify(expr).digest == "'only'"
+
+    def test_eval_equivalence_after_simplify(self):
+        from repro.core.rex_eval import evaluate
+        expr = call(rexmod.AND,
+                    call(rexmod.OR, literal(False),
+                         call(rexmod.GREATER_THAN, ref(0), literal(3))),
+                    literal(True))
+        simplified = simplify(expr)
+        for value in (1, 3, 4, 10):
+            assert evaluate(expr, (value,)) == evaluate(simplified, (value,))

@@ -1,0 +1,216 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import ast as sqlast
+from repro.sql.lexer import SqlLexError, tokenize
+from repro.sql.parser import SqlParseError, parse, parse_expression
+
+
+class TestLexer:
+    def test_keywords_upper(self):
+        kinds = [(t.kind, t.value) for t in tokenize("select x FROM t")]
+        assert kinds[0] == ("KEYWORD", "SELECT")
+        assert kinds[1] == ("IDENT", "x")
+        assert kinds[2] == ("KEYWORD", "FROM")
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifiers(self):
+        assert tokenize('"My Col"')[0].kind == "QUOTED_IDENT"
+        assert tokenize("`My Col`")[0].value == "My Col"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 1e3 1.5E-2") if t.kind == "NUMBER"]
+        assert values == ["1", "2.5", "1e3", "1.5E-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block */ + 2")
+        kinds = [t.kind for t in tokens]
+        assert "EOF" in kinds
+        assert len([t for t in tokens if t.kind == "NUMBER"]) == 2
+
+    def test_operators_longest_match(self):
+        ops = [t.value for t in tokenize("a <= b <> c || d") if t.kind == "OP"]
+        assert ops == ["<=", "<>", "||"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT @x")
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert str(expr) == "+(1, *(2, 3))"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert str(expr) == "OR(=(a, 1), AND(=(b, 2), =(c, 3)))"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a = 1 AND b = 2")
+        assert str(expr).startswith("AND(NOT(")
+
+    def test_unary_minus(self):
+        assert str(parse_expression("-x + 1")) == "+(-/1(x), 1)"
+
+    def test_between_and_in(self):
+        assert str(parse_expression("x BETWEEN 1 AND 5")) == "BETWEEN(x, 1, 5)"
+        assert str(parse_expression("x IN (1, 2)")) == "IN(x, 1, 2)"
+        assert str(parse_expression("x NOT IN (1)")) == "NOT(IN(x, 1))"
+
+    def test_is_null_forms(self):
+        assert str(parse_expression("x IS NULL")) == "IS NULL(x)"
+        assert str(parse_expression("x IS NOT NULL")) == "IS NOT NULL(x)"
+
+    def test_like(self):
+        assert str(parse_expression("name LIKE 'A%'")) == "LIKE(name, 'A%')"
+        assert str(parse_expression("name NOT LIKE 'A%'")) == "NOT(LIKE(name, 'A%'))"
+
+    def test_case_forms(self):
+        searched = parse_expression("CASE WHEN a > 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(searched, sqlast.SqlCase)
+        valued = parse_expression("CASE a WHEN 1 THEN 'x' END")
+        assert valued.value is not None
+
+    def test_cast(self):
+        c = parse_expression("CAST(x AS VARCHAR(20))")
+        assert isinstance(c, sqlast.SqlCast)
+        assert c.type_name == "VARCHAR"
+        assert c.precision == 20
+
+    def test_item_access_chain(self):
+        expr = parse_expression("_MAP['loc'][0]")
+        assert isinstance(expr, sqlast.SqlItemAccess)
+        assert isinstance(expr.collection, sqlast.SqlItemAccess)
+
+    def test_interval(self):
+        expr = parse_expression("INTERVAL '1' HOUR")
+        assert isinstance(expr, sqlast.SqlIntervalLiteral)
+        assert expr.millis() == 3_600_000
+
+    def test_interval_minute(self):
+        assert parse_expression("INTERVAL '90' SECOND").millis() == 90_000
+
+    def test_dynamic_params_numbered(self):
+        q = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        where = q.where
+        assert str(where) == "AND(=(a, ?), =(b, ?))"
+
+    def test_extract_substring(self):
+        assert str(parse_expression("EXTRACT(YEAR FROM d)")) == "EXTRACT('YEAR', d)"
+        assert str(parse_expression("SUBSTRING(s FROM 2 FOR 3)")) == "SUBSTRING(s, 2, 3)"
+
+    def test_concat(self):
+        assert str(parse_expression("a || b")) == "||(a, b)"
+
+
+class TestQueryParsing:
+    def test_select_structure(self):
+        q = parse("SELECT DISTINCT a, b AS bee FROM t WHERE a > 1 "
+                  "GROUP BY a, b HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 3 OFFSET 1")
+        assert isinstance(q, sqlast.SqlSelect)
+        assert q.distinct
+        assert q.select_list[1].alias == "bee"
+        assert len(q.group_by) == 2
+        assert q.having is not None
+        assert q.order_by[0].descending
+        assert q.fetch == 3 and q.offset == 1
+
+    def test_fetch_first_syntax(self):
+        q = parse("SELECT a FROM t FETCH FIRST 5 ROWS ONLY")
+        assert q.fetch == 5
+
+    def test_stream_keyword(self):
+        q = parse("SELECT STREAM a FROM orders")
+        assert q.stream
+
+    def test_join_kinds(self):
+        q = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x "
+                  "CROSS JOIN c")
+        join = q.from_clause
+        assert isinstance(join, sqlast.SqlJoinClause)
+        assert join.kind == "CROSS"
+        assert join.left.kind == "LEFT"
+
+    def test_using(self):
+        q = parse("SELECT * FROM a JOIN b USING (x, y)")
+        assert q.from_clause.using == ["x", "y"]
+
+    def test_comma_join_is_cross(self):
+        q = parse("SELECT * FROM a, b")
+        assert q.from_clause.kind == "CROSS"
+
+    def test_derived_table(self):
+        q = parse("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(q.from_clause, sqlast.SqlDerivedTable)
+        assert q.from_clause.alias == "sub"
+
+    def test_set_ops_chain(self):
+        q = parse("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v")
+        assert isinstance(q, sqlast.SqlSetOp)
+        assert q.kind == "EXCEPT"
+        assert isinstance(q.left, sqlast.SqlSetOp)
+        assert q.left.all
+
+    def test_order_by_on_union_wraps(self):
+        q = parse("SELECT a FROM t UNION SELECT a FROM u ORDER BY a")
+        assert isinstance(q, sqlast.SqlSelect)  # wrapped in outer select
+        assert q.order_by
+
+    def test_values(self):
+        q = parse("VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(q, sqlast.SqlValues)
+        assert len(q.rows) == 2
+
+    def test_with_cte(self):
+        q = parse("WITH x AS (SELECT 1 AS a), y AS (SELECT 2 AS b) SELECT * FROM x")
+        assert isinstance(q, sqlast.SqlWith)
+        assert [name for name, _ in q.ctes] == ["x", "y"]
+
+    def test_exists_subquery(self):
+        q = parse("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert "EXISTS" in str(q.where)
+
+    def test_window_spec_with_frame(self):
+        q = parse("SELECT SUM(x) OVER (PARTITION BY g ORDER BY ts "
+                  "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) FROM t")
+        call = q.select_list[0].expr
+        assert call.over is not None
+        assert call.over.is_rows
+        assert call.over.lower[0] == "PRECEDING"
+
+    def test_window_spec_range_preceding(self):
+        q = parse("SELECT SUM(units) OVER (ORDER BY rowtime "
+                  "RANGE INTERVAL '1' HOUR PRECEDING) FROM orders")
+        spec = q.select_list[0].expr.over
+        assert not spec.is_rows
+        assert spec.lower[0] == "PRECEDING"
+
+    def test_count_distinct_and_star(self):
+        q = parse("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+        star = q.select_list[0].expr
+        distinct = q.select_list[1].expr
+        assert star.star
+        assert distinct.distinct
+
+    def test_error_messages(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT FROM t")
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t WHERE")
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t GROUP a")
+        with pytest.raises(SqlParseError):
+            parse_expression("1 +")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT 1 zig zag bonk")

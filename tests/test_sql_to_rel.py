@@ -1,0 +1,271 @@
+"""Unit tests for validation + SQL-to-rel conversion."""
+
+import pytest
+
+from repro.core.rel import (
+    Aggregate,
+    Delta,
+    Filter,
+    Join,
+    JoinRelType,
+    Project,
+    Sort,
+    TableScan,
+    Union,
+    Values,
+    Window,
+)
+from repro.sql.to_rel import SqlToRelConverter, ValidationError
+
+
+@pytest.fixture
+def convert(hr_catalog):
+    converter = SqlToRelConverter(hr_catalog)
+    return converter.convert_sql
+
+
+class TestNameResolution:
+    def test_qualified_and_bare_columns(self, convert):
+        rel = convert("SELECT emps.name, sal FROM hr.emps")
+        assert isinstance(rel, Project)
+        assert rel.row_type.field_names == ("name", "sal")
+
+    def test_alias_resolution(self, convert):
+        rel = convert("SELECT e.name FROM hr.emps e")
+        assert rel.row_type.field_names == ("name",)
+
+    def test_unknown_column(self, convert):
+        with pytest.raises(ValidationError, match="column not found"):
+            convert("SELECT wages FROM hr.emps")
+
+    def test_unknown_table(self, convert):
+        with pytest.raises(ValidationError, match="table not found"):
+            convert("SELECT * FROM hr.missing")
+
+    def test_ambiguous_column(self, convert):
+        with pytest.raises(ValidationError, match="ambiguous"):
+            convert("SELECT deptno FROM hr.emps, hr.depts")
+
+    def test_unknown_alias_qualifier(self, convert):
+        with pytest.raises(ValidationError):
+            convert("SELECT z.name FROM hr.emps e")
+
+    def test_star_expansion(self, convert):
+        rel = convert("SELECT * FROM hr.emps")
+        assert rel.row_type.field_count == 5
+
+    def test_qualified_star(self, convert):
+        rel = convert("SELECT d.* FROM hr.emps e, hr.depts d")
+        assert rel.row_type.field_names == ("deptno", "dname")
+
+    def test_default_schema_path(self, hr_catalog):
+        hr_catalog.default_path = ["hr"]
+        rel = SqlToRelConverter(hr_catalog).convert_sql("SELECT name FROM emps")
+        assert rel.row_type.field_names == ("name",)
+
+
+class TestShapes:
+    def test_filter_where(self, convert):
+        rel = convert("SELECT name FROM hr.emps WHERE sal > 100")
+        assert isinstance(rel.input, Filter)
+
+    def test_where_must_be_boolean(self, convert):
+        with pytest.raises(ValidationError, match="boolean"):
+            convert("SELECT name FROM hr.emps WHERE sal + 1")
+
+    def test_join_on(self, convert):
+        rel = convert("SELECT e.name FROM hr.emps e JOIN hr.depts d "
+                      "ON e.deptno = d.deptno")
+        join = rel.input
+        assert isinstance(join, Join)
+        assert join.join_type is JoinRelType.INNER
+
+    def test_join_using(self, convert):
+        rel = convert("SELECT name FROM hr.emps JOIN hr.depts USING (deptno)")
+        assert isinstance(rel.input, Join)
+
+    def test_using_missing_column(self, convert):
+        with pytest.raises(ValidationError):
+            convert("SELECT 1 FROM hr.emps JOIN hr.depts USING (nope)")
+
+    def test_outer_join_types(self, convert):
+        for kw, jt in [("LEFT", JoinRelType.LEFT), ("RIGHT", JoinRelType.RIGHT),
+                       ("FULL", JoinRelType.FULL)]:
+            rel = convert(f"SELECT name FROM hr.emps {kw} JOIN hr.depts USING (deptno)")
+            assert rel.input.join_type is jt
+
+    def test_select_without_from(self, convert):
+        rel = convert("SELECT 1 + 1")
+        assert isinstance(rel, Project)
+
+    def test_values(self, convert):
+        rel = convert("VALUES (1, 'a')")
+        assert isinstance(rel, Values)
+
+    def test_values_non_constant_rejected(self, convert):
+        with pytest.raises(ValidationError):
+            convert("VALUES (x)")
+
+    def test_union_column_mismatch(self, convert):
+        with pytest.raises(ValidationError, match="column counts"):
+            convert("SELECT deptno FROM hr.emps UNION SELECT deptno, dname FROM hr.depts")
+
+    def test_order_limit(self, convert):
+        rel = convert("SELECT name, sal FROM hr.emps ORDER BY sal DESC LIMIT 2")
+        assert isinstance(rel, Sort)
+        assert rel.fetch == 2
+        assert rel.collation.field_collations[0].descending
+
+    def test_order_by_hidden_column(self, convert):
+        """ORDER BY a column not in the select list: project-sort-trim."""
+        from repro.runtime.operators import execute_to_list
+        rel = convert("SELECT name FROM hr.emps ORDER BY sal DESC LIMIT 2")
+        assert rel.row_type.field_names == ("name",)
+        assert execute_to_list(rel) == [("Theodore",), ("Bill",)]
+
+
+class TestAggregation:
+    def test_group_by(self, convert):
+        rel = convert("SELECT deptno, COUNT(*) FROM hr.emps GROUP BY deptno")
+        agg = rel.input
+        assert isinstance(agg, Aggregate)
+        assert agg.group_set == (1,)
+
+    def test_ungrouped_column_rejected(self, convert):
+        with pytest.raises(ValidationError, match="grouped"):
+            convert("SELECT name, COUNT(*) FROM hr.emps GROUP BY deptno")
+
+    def test_having_without_group_rejected(self, convert):
+        with pytest.raises(ValidationError):
+            convert("SELECT name FROM hr.emps HAVING 1 > 0")
+
+    def test_having_references_aggregate(self, convert):
+        rel = convert("SELECT deptno FROM hr.emps GROUP BY deptno "
+                      "HAVING SUM(sal) > 10")
+        assert isinstance(rel, Project)
+        assert isinstance(rel.input, Filter)
+
+    def test_duplicate_aggregates_shared(self, convert):
+        rel = convert("SELECT SUM(sal), SUM(sal) + 1 FROM hr.emps")
+        agg = rel.input
+        assert isinstance(agg, Aggregate)
+        assert len(agg.agg_calls) == 1  # deduplicated
+
+    def test_group_expression(self, convert):
+        rel = convert("SELECT deptno + 1 FROM hr.emps GROUP BY deptno + 1")
+        assert isinstance(rel.input, Aggregate)
+
+    def test_order_by_aggregate_alias(self, convert):
+        rel = convert("SELECT deptno, COUNT(*) AS c FROM hr.emps "
+                      "GROUP BY deptno ORDER BY c DESC")
+        assert isinstance(rel, Sort)
+
+    def test_order_by_aggregate_expression(self, convert):
+        rel = convert("SELECT deptno, COUNT(*) FROM hr.emps "
+                      "GROUP BY deptno ORDER BY COUNT(*) DESC")
+        assert isinstance(rel, Sort)
+        assert rel.collation.keys == (1,)
+
+    def test_order_by_ordinal(self, convert):
+        rel = convert("SELECT name, sal FROM hr.emps ORDER BY 2")
+        assert rel.collation.keys == (1,)
+
+    def test_order_by_ordinal_out_of_range(self, convert):
+        with pytest.raises(ValidationError, match="out of range"):
+            convert("SELECT name FROM hr.emps ORDER BY 9")
+
+    def test_distinct_becomes_aggregate(self, convert):
+        rel = convert("SELECT DISTINCT deptno FROM hr.emps")
+        assert isinstance(rel, Aggregate)
+        assert not rel.agg_calls
+
+
+class TestSubqueries:
+    def test_in_subquery(self, convert):
+        rel = convert("SELECT name FROM hr.emps WHERE deptno IN "
+                      "(SELECT deptno FROM hr.depts)")
+        assert isinstance(rel.input, Filter)
+        assert "IN" in rel.input.condition.digest
+
+    def test_exists_correlated(self, convert):
+        rel = convert("SELECT name FROM hr.emps e WHERE EXISTS "
+                      "(SELECT 1 FROM hr.depts d WHERE d.deptno = e.deptno)")
+        assert "$cor0" in rel.input.condition.digest
+
+    def test_scalar_subquery_in_select(self, convert):
+        rel = convert("SELECT (SELECT MAX(sal) FROM hr.emps) FROM hr.depts")
+        assert isinstance(rel, Project)
+
+    def test_derived_table_scoping(self, convert):
+        rel = convert("SELECT top.name FROM (SELECT name FROM hr.emps) AS top")
+        assert rel.row_type.field_names == ("name",)
+        with pytest.raises(ValidationError):
+            convert("SELECT sal FROM (SELECT name FROM hr.emps) AS top")
+
+
+class TestWindows:
+    def test_over_creates_window_operator(self, convert):
+        rel = convert("SELECT name, SUM(sal) OVER (PARTITION BY deptno) FROM hr.emps")
+        assert isinstance(rel, Project)
+        assert isinstance(rel.input, Window)
+
+    def test_window_plus_aggregate_rejected(self, convert):
+        with pytest.raises(ValidationError):
+            convert("SELECT deptno, SUM(COUNT(*)) OVER () FROM hr.emps GROUP BY deptno")
+
+
+class TestStreaming:
+    @pytest.fixture
+    def stream_catalog(self, hr_catalog):
+        from repro.core.types import DEFAULT_TYPE_FACTORY as F
+        from repro.schema.core import Schema
+        from repro.stream import StreamTable
+        s = Schema("st")
+        hr_catalog.add_schema(s)
+        s.add_table(StreamTable("orders", ["rowtime", "productId", "units"],
+                                [F.timestamp(False), F.integer(False),
+                                 F.integer(False)]))
+        return hr_catalog
+
+    def test_stream_wraps_delta(self, stream_catalog):
+        rel = SqlToRelConverter(stream_catalog).convert_sql(
+            "SELECT STREAM rowtime, units FROM st.orders")
+        assert isinstance(rel, Delta)
+
+    def test_stream_group_by_requires_monotonic(self, stream_catalog):
+        convert = SqlToRelConverter(stream_catalog).convert_sql
+        with pytest.raises(ValidationError, match="monotonic"):
+            convert("SELECT STREAM productId, COUNT(*) FROM st.orders "
+                    "GROUP BY productId")
+
+    def test_stream_tumble_group_accepted(self, stream_catalog):
+        convert = SqlToRelConverter(stream_catalog).convert_sql
+        rel = convert(
+            "SELECT STREAM TUMBLE_END(rowtime, INTERVAL '1' HOUR) AS t, "
+            "COUNT(*) AS c FROM st.orders "
+            "GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+        assert isinstance(rel, Delta)
+
+    def test_tumble_end_without_matching_group(self, stream_catalog):
+        convert = SqlToRelConverter(stream_catalog).convert_sql
+        with pytest.raises(ValidationError, match="TUMBLE"):
+            convert("SELECT STREAM TUMBLE_END(rowtime, INTERVAL '2' HOUR) "
+                    "FROM st.orders GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)")
+
+    def test_rowtime_group_is_monotonic(self, stream_catalog):
+        convert = SqlToRelConverter(stream_catalog).convert_sql
+        rel = convert("SELECT STREAM rowtime, COUNT(*) FROM st.orders "
+                      "GROUP BY rowtime")
+        assert isinstance(rel, Delta)
+
+
+class TestViews:
+    def test_view_expansion(self, hr_catalog):
+        from repro.schema.core import ViewTable
+        hr = hr_catalog.resolve_schema(["hr"])
+        hr.add_table(ViewTable(
+            "rich", "SELECT name, sal FROM hr.emps WHERE sal > 9000"))
+        rel = SqlToRelConverter(hr_catalog).convert_sql(
+            "SELECT name FROM hr.rich")
+        from repro.runtime.operators import execute_to_list
+        assert sorted(execute_to_list(rel)) == [("Bill",), ("Theodore",)]

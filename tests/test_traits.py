@@ -1,0 +1,87 @@
+"""Unit tests for the trait system (Section 4)."""
+
+from repro.core.traits import (
+    Convention,
+    RelCollation,
+    RelDistribution,
+    RelFieldCollation,
+    RelTraitSet,
+)
+
+
+class TestConvention:
+    def test_interned(self):
+        assert Convention("foo") is Convention("foo")
+        assert Convention("foo") is not Convention("bar")
+
+    def test_builtins(self):
+        assert Convention.NONE.name == "logical"
+        assert Convention.ENUMERABLE.name == "enumerable"
+
+    def test_satisfies_is_identity(self):
+        assert Convention.ENUMERABLE.satisfies(Convention.ENUMERABLE)
+        assert not Convention.ENUMERABLE.satisfies(Convention.NONE)
+
+
+class TestCollation:
+    def test_prefix_satisfaction(self):
+        ab = RelCollation.of(0, 1)
+        a = RelCollation.of(0)
+        assert ab.satisfies(a)       # sorted by (a,b) delivers (a)
+        assert not a.satisfies(ab)   # but not vice versa
+        assert ab.satisfies(ab)
+
+    def test_empty_satisfied_by_all(self):
+        assert RelCollation.of(0).satisfies(RelCollation.EMPTY)
+        assert RelCollation.EMPTY.satisfies(RelCollation.EMPTY)
+
+    def test_direction_matters(self):
+        asc = RelCollation([RelFieldCollation(0, descending=False)])
+        desc = RelCollation([RelFieldCollation(0, descending=True)])
+        assert not asc.satisfies(desc)
+
+    def test_keys(self):
+        assert RelCollation.of(2, 0).keys == (2, 0)
+
+    def test_equality_hash(self):
+        assert RelCollation.of(1) == RelCollation.of(1)
+        assert hash(RelCollation.of(1)) == hash(RelCollation.of(1))
+
+
+class TestDistribution:
+    def test_any_satisfied_by_everything(self):
+        assert RelDistribution.SINGLETON.satisfies(RelDistribution.ANY)
+        assert RelDistribution.hash([0]).satisfies(RelDistribution.ANY)
+
+    def test_hash_keys(self):
+        h1 = RelDistribution.hash([0, 1])
+        h2 = RelDistribution.hash([0, 1])
+        assert h1 == h2
+        assert h1.satisfies(h2)
+        assert not h1.satisfies(RelDistribution.hash([1]))
+
+    def test_bad_type_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RelDistribution("SPIRAL")
+
+
+class TestTraitSet:
+    def test_replace(self):
+        ts = RelTraitSet()
+        ts2 = ts.replace(Convention.ENUMERABLE)
+        assert ts2.convention is Convention.ENUMERABLE
+        assert ts.convention is Convention.NONE  # immutable
+        ts3 = ts2.replace(RelCollation.of(0))
+        assert ts3.collation.keys == (0,)
+        assert ts3.convention is Convention.ENUMERABLE
+
+    def test_satisfies_componentwise(self):
+        sorted_enum = RelTraitSet(Convention.ENUMERABLE, RelCollation.of(0, 1))
+        required = RelTraitSet(Convention.ENUMERABLE, RelCollation.of(0))
+        assert sorted_enum.satisfies(required)
+        assert not required.satisfies(sorted_enum)
+
+    def test_repr_compact(self):
+        assert repr(RelTraitSet()) == "logical"
+        assert "enumerable" in repr(RelTraitSet(Convention.ENUMERABLE))

@@ -1,0 +1,135 @@
+"""Unit tests for the relational type system."""
+
+import pytest
+
+from repro.core.types import (
+    DEFAULT_TYPE_FACTORY as F,
+    RelDataType,
+    RelDataTypeFactory,
+    SqlTypeName,
+    TypeCoercionError,
+)
+
+
+class TestBasicTypes:
+    def test_simple_types_interned(self):
+        assert F.integer() is F.integer()
+        assert F.integer(False) is not F.integer(True)
+
+    def test_classification(self):
+        assert F.integer().is_numeric
+        assert F.double().is_numeric
+        assert F.varchar().is_character
+        assert F.timestamp().is_temporal
+        assert F.boolean().is_boolean
+        assert not F.varchar().is_numeric
+
+    def test_nullability(self):
+        t = F.integer(True)
+        assert t.nullable
+        t2 = t.with_nullable(False)
+        assert not t2.nullable
+        assert t2.type_name is SqlTypeName.INTEGER
+        assert t.with_nullable(True) is t
+
+    def test_str_rendering(self):
+        assert str(F.integer(False)) == "INTEGER NOT NULL"
+        assert str(F.varchar(20)) == "VARCHAR(20)"
+        assert str(F.decimal(10, 2)) == "DECIMAL(10, 2)"
+        assert "INTERVAL HOUR" in str(F.interval("HOUR"))
+
+
+class TestComplexTypes:
+    def test_array(self):
+        t = F.array(F.integer())
+        assert t.type_name is SqlTypeName.ARRAY
+        assert t.component is F.integer()
+        assert t.is_complex
+
+    def test_map(self):
+        t = F.map(F.varchar(), F.any())
+        assert t.key_type.is_character
+        assert t.value_type.type_name is SqlTypeName.ANY
+
+    def test_multiset(self):
+        t = F.multiset(F.varchar())
+        assert t.is_complex
+        assert "MULTISET" in str(t)
+
+    def test_nested_map_of_arrays(self):
+        t = F.map(F.varchar(), F.array(F.double()))
+        assert t.value_type.component is F.double()
+
+
+class TestStructTypes:
+    def test_struct_fields(self):
+        t = F.struct(["a", "b"], [F.integer(), F.varchar()])
+        assert t.is_struct
+        assert t.field_count == 2
+        assert t.field_names == ("a", "b")
+        assert t.fields[1].index == 1
+
+    def test_field_lookup_case_insensitive(self):
+        t = F.struct(["Name"], [F.varchar()])
+        assert t.field_by_name("NAME") is not None
+        assert t.field_by_name("NAME", case_sensitive=True) is None
+        assert t.field_by_name("nope") is None
+
+    def test_struct_of_renumbers(self):
+        t1 = F.struct(["a", "b"], [F.integer(), F.integer()])
+        t2 = F.struct_of([t1.fields[1], t1.fields[0]])
+        assert t2.fields[0].name == "b"
+        assert t2.fields[0].index == 0
+
+    def test_struct_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            F.struct(["a"], [F.integer(), F.integer()])
+
+
+class TestLeastRestrictive:
+    def test_same_type(self):
+        assert F.least_restrictive([F.integer(), F.integer()]) == F.integer()
+
+    def test_numeric_promotion(self):
+        assert F.least_restrictive(
+            [F.integer(), F.double()]).type_name is SqlTypeName.DOUBLE
+        assert F.least_restrictive(
+            [F.integer(), F.bigint()]).type_name is SqlTypeName.BIGINT
+
+    def test_nullability_propagates(self):
+        t = F.least_restrictive([F.integer(False), F.integer(True)])
+        assert t.nullable
+
+    def test_char_types(self):
+        t = F.least_restrictive([F.char(5), F.varchar(10)])
+        assert t.type_name is SqlTypeName.VARCHAR
+        assert t.precision == 10
+
+    def test_null_type_absorbed(self):
+        t = F.least_restrictive([F.null_type(), F.integer(False)])
+        assert t.type_name is SqlTypeName.INTEGER
+        assert t.nullable
+
+    def test_incompatible(self):
+        assert F.least_restrictive([F.boolean(), F.varchar()]) is None
+
+    def test_enforce_compatible_raises(self):
+        with pytest.raises(TypeCoercionError):
+            F.enforce_compatible(F.boolean(), F.integer())
+
+    def test_temporal(self):
+        t = F.least_restrictive([F.date(), F.timestamp()])
+        assert t.type_name is SqlTypeName.TIMESTAMP
+
+    def test_any_wins(self):
+        t = F.least_restrictive([F.any(), F.integer()])
+        assert t.type_name is SqlTypeName.ANY
+
+    def test_all_null(self):
+        t = F.least_restrictive([F.null_type()])
+        assert t.type_name is SqlTypeName.NULL
+
+
+def test_fresh_factory_independent():
+    mine = RelDataTypeFactory()
+    assert mine.integer() == F.integer()
