@@ -13,21 +13,28 @@ each component boundary.
 
 import json
 
+import pytest
+
 from repro import Catalog, MemoryTable, RelBuilder, Schema
 from repro.core.types import DEFAULT_TYPE_FACTORY as F
 from repro.framework import FrameworkConfig, Planner
 from repro.sql import rel_to_sql
 
-from conftest import make_sales_catalog, shape
+from conftest import make_sales_catalog, record_result, shape
 
 SQL = ("SELECT products.name, COUNT(*) AS c FROM s.sales "
        "JOIN s.products ON sales.productId = products.productId "
        "WHERE sales.discount IS NOT NULL GROUP BY products.name")
 
+#: The execution-engine axis: every pipeline measurement runs once per
+#: built-in engine (row = enumerable iterators, vectorized = batches).
+ENGINES = ("row", "vectorized")
+
 
 class TestFigure1EntryPoints:
-    def test_sql_in_rows_out(self):
-        planner = Planner(FrameworkConfig(make_sales_catalog()))
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_sql_in_rows_out(self, engine):
+        planner = Planner(FrameworkConfig(make_sales_catalog(), engine=engine))
         result = planner.execute(SQL)
         assert result.rows
 
@@ -68,9 +75,10 @@ class TestFigure1EntryPoints:
         physical = planner.optimize(planner.rel(SQL))
         assert physical is not None
 
-    def test_stage_timings_report(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_stage_timings_report(self, engine):
         import time
-        planner = Planner(FrameworkConfig(make_sales_catalog()))
+        planner = Planner(FrameworkConfig(make_sales_catalog(), engine=engine))
         t0 = time.perf_counter()
         ast = planner.parse(SQL)
         t1 = time.perf_counter()
@@ -81,12 +89,12 @@ class TestFigure1EntryPoints:
         from repro.runtime.operators import execute_to_list
         rows = execute_to_list(physical)
         t4 = time.perf_counter()
-        shape("Figure 1: pipeline stage timings",
-              f"parse:            {(t1 - t0) * 1000:7.2f} ms\n"
-              f"validate+convert: {(t2 - t1) * 1000:7.2f} ms\n"
-              f"optimize:         {(t3 - t2) * 1000:7.2f} ms\n"
-              f"execute:          {(t4 - t3) * 1000:7.2f} ms   "
-              f"({len(rows)} rows)")
+        record_result("Figure 1: pipeline stage timings", engine,
+                      parse_ms=round((t1 - t0) * 1000, 2),
+                      validate_convert_ms=round((t2 - t1) * 1000, 2),
+                      optimize_ms=round((t3 - t2) * 1000, 2),
+                      execute_ms=round((t4 - t3) * 1000, 2),
+                      result_rows=len(rows))
         assert rows
 
 

@@ -68,3 +68,22 @@ def shape(label: str, text: str) -> None:
     """Print a regenerated artifact with a banner (visible with -s)."""
     print(f"\n===== {label} =====")
     print(text)
+
+
+#: Result payloads recorded by the bench modules during this run.
+RESULTS: list = []
+
+
+def record_result(label: str, engine: str, **payload) -> dict:
+    """Record one benchmark result, tagged with the engine variant.
+
+    Every measurement must say which execution engine produced it
+    ("row", "vectorized", or an adapter convention) so cross-engine
+    comparisons stay attributable after the run.
+    """
+    entry = {"label": label, "engine": engine}
+    entry.update(payload)
+    RESULTS.append(entry)
+    shape(f"{label} [engine={engine}]",
+          "\n".join(f"{k}: {v}" for k, v in payload.items()))
+    return entry

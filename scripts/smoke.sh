@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Smoke check: the tier-1 suite plus the cross-engine differential
+# suite and the vectorized throughput bench (the two-engine acceptance
+# gates).  Quick mode (SMOKE_QUICK=1) skips tests marked `slow`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+MARKER_ARGS=()
+if [[ -n "${SMOKE_QUICK:-}" ]]; then
+    MARKER_ARGS=(-m "not slow")
+fi
+
+# (the ${arr[@]+...} form keeps empty-array expansion safe under
+# `set -u` on bash <= 4.3)
+
+# Tier-1: the full repository suite.
+python -m pytest -x -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"}
+
+# Cross-engine gates: row and vectorized engines must agree everywhere,
+# and the vectorized engine must win the scan+filter+aggregate bench.
+python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
+    tests/test_engine_differential.py \
+    tests/test_vectorized_property.py \
+    benchmarks/bench_vectorized.py

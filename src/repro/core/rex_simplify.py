@@ -84,8 +84,10 @@ def _simplify_and(operands: List[RexNode], original: RexCall) -> RexNode:
     out: List[RexNode] = []
     seen = set()
     for o in flat:
-        if o.is_always_false() or (isinstance(o, RexLiteral) and o.value is None):
+        if o.is_always_false():
             return rexmod.literal(False)
+        # A NULL literal conjunct cannot be folded to FALSE: under
+        # three-valued logic TRUE AND NULL is NULL, not FALSE.  Keep it.
         if o.is_always_true():
             continue
         if o.digest in seen:
@@ -93,9 +95,13 @@ def _simplify_and(operands: List[RexNode], original: RexCall) -> RexNode:
         seen.add(o.digest)
         out.append(o)
     # Contradiction: x AND NOT x (also via negated comparison kinds,
-    # e.g. IS NULL vs IS NOT NULL on the same operand)
+    # e.g. IS NULL vs IS NOT NULL on the same operand).  Only sound
+    # when x cannot be NULL — NULL AND NOT NULL is NULL, not FALSE —
+    # so nullable-typed terms never trigger the fold.
     negations = set()
     for o in out:
+        if o.type.nullable:
+            continue
         if isinstance(o, RexCall) and o.kind is SqlKind.NOT:
             negations.add(o.operands[0].digest)
         elif isinstance(o, RexCall):

@@ -9,7 +9,9 @@ Three trait definitions are built in, matching the paper:
 * :class:`Convention` — the calling convention, i.e. which data
   processing system executes the operator.  ``Convention.NONE`` marks a
   purely logical expression; ``Convention.ENUMERABLE`` is the built-in
-  iterator-based engine; adapters register their own conventions.
+  iterator-based engine; ``Convention.VECTORIZED`` is the built-in
+  batch/columnar engine (:mod:`repro.runtime.vectorized`); adapters
+  register their own conventions.
 * :class:`RelCollation` — sort order (a list of field collations).
 * :class:`RelDistribution` — how rows are partitioned across workers.
 """
@@ -63,6 +65,8 @@ class Convention(RelTrait):
 Convention.NONE = Convention("logical")
 #: The built-in iterator engine (Section 5's enumerable calling convention).
 Convention.ENUMERABLE = Convention("enumerable")
+#: The built-in batch/columnar engine (ColumnBatch-at-a-time execution).
+Convention.VECTORIZED = Convention("vectorized")
 
 
 @dataclass(frozen=True)

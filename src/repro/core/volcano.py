@@ -43,7 +43,13 @@ class RelSet:
         self.subsets: Dict[RelTraitSet, "RelSubset"] = {}
         #: rels (in other sets) that consume a subset of this set
         self.parents: List[RelNode] = []
+        self._parent_ids: set = set()
         self.merged_into: Optional["RelSet"] = None
+
+    def add_parent(self, rel: RelNode) -> None:
+        if rel.id not in self._parent_ids:
+            self._parent_ids.add(rel.id)
+            self.parents.append(rel)
 
     def canonical(self) -> "RelSet":
         s = self
@@ -254,14 +260,24 @@ class VolcanoPlanner:
         for i in rel.inputs:
             assert isinstance(i, RelSubset)
             child_set = i.rel_set.canonical()
-            child_set.parents.append(rel)
+            child_set.add_parent(rel)
         self._queue_matches_for(rel)
         # Parents of this set may newly match through the added rel.
+        # Requeue each distinct parent (and grandparent, for three-level
+        # operand patterns) once; duplicates would only re-enumerate the
+        # same bindings, which dominates planning time on large searches.
+        requeued: Set[int] = set()
         for parent in list(target.parents):
+            if id(parent) in requeued:
+                continue
+            requeued.add(id(parent))
             self._queue_matches_for(parent)
             parent_set = self.set_of(parent)
             if parent_set is not None:
                 for grand in list(parent_set.parents):
+                    if id(grand) in requeued:
+                        continue
+                    requeued.add(id(grand))
                     self._queue_matches_for(grand)
 
     # ------------------------------------------------------------------
@@ -279,7 +295,8 @@ class VolcanoPlanner:
                 winner.rels.append(rel)
         for traits, subset in loser.subsets.items():
             winner.subset(traits)
-        winner.parents.extend(loser.parents)
+        for p in loser.parents:
+            winner.add_parent(p)
         # Re-digest parents that referenced the loser's subsets: their
         # subset digests now canonicalise to the winner, which can
         # reveal further duplicates (cascading merges).

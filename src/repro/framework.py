@@ -5,6 +5,27 @@
 (multi-stage) optimize → execute.  Systems that bring their own parser
 skip straight to :meth:`Planner.optimize` with an operator tree built
 via :class:`repro.core.builder.RelBuilder`.
+
+Two built-in execution engines are available, selected by
+``FrameworkConfig(engine=...)``:
+
+* ``engine="row"`` (the default) — the enumerable convention of
+  Section 5: operators pull tuples through iterators, and row
+  expressions are interpreted per row.
+* ``engine="vectorized"`` — the batch/columnar convention
+  (:mod:`repro.runtime.vectorized`): operators stream
+  ``ColumnBatch`` values (typed columns plus a selection vector), and
+  row expressions are compiled once and evaluated over whole columns.
+
+The switch only changes the *required trait* handed to the Volcano
+planner and the converter rules registered with it; everything above
+(parsing, logical rewriting, materialized views, adapter pushdown) is
+shared.  Adapters that only produce rows still compose with the
+vectorized engine through the row↔batch converter bridges, and a
+vectorized plan root is executed through the same
+:func:`repro.runtime.operators.execute` entry point (every vectorized
+operator exposes ``execute_rows``), so :class:`Result` is
+engine-agnostic.
 """
 
 from __future__ import annotations
@@ -26,6 +47,7 @@ from .core.traits import Convention, RelTraitSet
 from .core.volcano import VolcanoPlanner
 from .runtime.nodes import enumerable_rules
 from .runtime.operators import ExecutionContext, execute
+from .runtime.vectorized import vectorized_rules
 from .schema.core import Catalog
 from .sql.parser import parse
 from .sql.to_rel import SqlToRelConverter
@@ -36,6 +58,9 @@ class FrameworkConfig:
     """Configuration for a planning session."""
 
     catalog: Catalog
+    #: execution engine: "row" (enumerable iterators) or "vectorized"
+    #: (batch/columnar with compiled expressions)
+    engine: str = "row"
     #: extra rules (beyond the standard set and adapter-contributed ones)
     rules: List[RelOptRule] = field(default_factory=list)
     #: extra metadata providers, consulted before the defaults
@@ -58,6 +83,9 @@ class Planner:
     """End-to-end planning pipeline over a catalog."""
 
     def __init__(self, config: FrameworkConfig) -> None:
+        if config.engine not in ("row", "vectorized"):
+            raise ValueError(
+                f"unknown engine {config.engine!r}; expected 'row' or 'vectorized'")
         self.config = config
         self.catalog = config.catalog
         self.converter = SqlToRelConverter(self.catalog)
@@ -119,13 +147,21 @@ class Planner:
             exhaustive=self.config.exhaustive,
             delta=self.config.delta, patience=self.config.patience)
         self.last_volcano = planner
-        return planner.optimize(rel, required or RelTraitSet(Convention.ENUMERABLE))
+        return planner.optimize(rel, required or self.required_traits())
+
+    def required_traits(self) -> RelTraitSet:
+        """The root trait set implied by the configured engine."""
+        if self.config.engine == "vectorized":
+            return RelTraitSet(Convention.VECTORIZED)
+        return RelTraitSet(Convention.ENUMERABLE)
 
     def all_rules(self) -> List[RelOptRule]:
         rules = standard_logical_rules()
         if self.config.join_reorder:
             rules += join_reorder_rules()
         rules += enumerable_rules()
+        if self.config.engine == "vectorized":
+            rules += vectorized_rules()
         rules += self.catalog.all_rules()
         rules += self.config.rules
         return rules

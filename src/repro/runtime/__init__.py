@@ -1,4 +1,6 @@
-"""The enumerable execution engine (Section 5) and LINQ4J (Section 7.4)."""
+"""The built-in execution engines: the enumerable (row-at-a-time)
+engine of Section 5 with LINQ4J (Section 7.4), and its vectorized
+batch/columnar sibling (:mod:`repro.runtime.vectorized`)."""
 
 from .enumerable import Enumerable
 from .nodes import (
@@ -18,6 +20,12 @@ from .nodes import (
     enumerable_rules,
 )
 from .operators import ExecutionContext, execute, execute_to_list
+from .vectorized import (
+    VECTORIZED,
+    ColumnBatch,
+    execute_batches,
+    vectorized_rules,
+)
 
 __all__ = [
     "ENUMERABLE",
@@ -35,7 +43,11 @@ __all__ = [
     "EnumerableValues",
     "EnumerableWindow",
     "ExecutionContext",
+    "VECTORIZED",
+    "ColumnBatch",
     "enumerable_rules",
     "execute",
+    "execute_batches",
     "execute_to_list",
+    "vectorized_rules",
 ]

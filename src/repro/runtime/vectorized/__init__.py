@@ -1,0 +1,61 @@
+"""The vectorized (batch/columnar) execution engine.
+
+A sibling of the enumerable runtime: relational operators execute over
+:class:`ColumnBatch` (typed columns plus a selection vector) instead of
+tuple iterators, and row expressions are compiled once per operator and
+evaluated over whole columns.  ``Convention.VECTORIZED`` marks plans in
+this engine; :func:`vectorized_rules` contributes the converter rules
+and the row↔batch bridges that let it federate with adapters that only
+produce rows.
+"""
+
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    ColumnBatch,
+    batches_from_rows,
+    concat_batches,
+)
+from .executor import execute_batches
+from .expr import Frame, Scalar, compile_rex, eval_rex_column
+from .nodes import (
+    VECTORIZED,
+    BatchToRow,
+    RowToBatch,
+    VectorizedAggregate,
+    VectorizedFilter,
+    VectorizedHashJoin,
+    VectorizedIntersect,
+    VectorizedMinus,
+    VectorizedProject,
+    VectorizedSort,
+    VectorizedTableScan,
+    VectorizedUnion,
+    VectorizedValues,
+    vectorized_rules,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "VECTORIZED",
+    "BatchToRow",
+    "ColumnBatch",
+    "Frame",
+    "RowToBatch",
+    "Scalar",
+    "VectorizedAggregate",
+    "VectorizedFilter",
+    "VectorizedHashJoin",
+    "VectorizedIntersect",
+    "VectorizedMinus",
+    "VectorizedProject",
+    "VectorizedSort",
+    "VectorizedTableScan",
+    "VectorizedUnion",
+    "VectorizedValues",
+    "batches_from_rows",
+    "compile_rex",
+    "concat_batches",
+    "eval_rex_column",
+    "execute_batches",
+    "vectorized_rules",
+]

@@ -1,0 +1,413 @@
+"""Batch-at-a-time execution of vectorized operator trees.
+
+The columnar twin of :mod:`repro.runtime.operators`: where the row
+runtime interprets one tuple at a time, :func:`execute_batches` streams
+:class:`ColumnBatch` values through the plan.  Per-operator semantics
+(NULL handling, join matching, aggregate accumulation order, sort
+stability) deliberately mirror the row engine so the two engines are
+differentially testable against each other.
+
+Pipelining operators (scan / filter / project / the probe side of a
+hash join) stream batches; blocking operators (aggregate, sort, the
+set operations, the build side of a hash join) gather their input into
+one batch first.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional
+
+from ...core.rel import AggregateCall, JoinRelType, RelNode
+from ...core.rex import SqlKind
+from ...core.rex_eval import EvalContext
+from ..operators import ExecutionContext, _Accumulator, _execute, sort_rows
+from .batch import (
+    DEFAULT_BATCH_SIZE,
+    ColumnBatch,
+    batches_from_rows,
+    concat_batches,
+)
+from .expr import Frame, Scalar, as_column, compile_rex
+from .nodes import (
+    BatchToRow,
+    RowToBatch,
+    VectorizedAggregate,
+    VectorizedFilter,
+    VectorizedHashJoin,
+    VectorizedIntersect,
+    VectorizedMinus,
+    VectorizedProject,
+    VectorizedSort,
+    VectorizedTableScan,
+    VectorizedUnion,
+    VectorizedValues,
+)
+
+
+def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
+                    batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[ColumnBatch]:
+    """Execute a vectorized operator tree, yielding column batches."""
+    if ctx is None:
+        ctx = ExecutionContext()
+    if isinstance(rel, VectorizedTableScan):
+        return _scan(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedFilter):
+        return _filter(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedProject):
+        return _project(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedHashJoin):
+        return _hash_join(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedAggregate):
+        return _aggregate(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedSort):
+        return _sort(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedUnion):
+        return _union(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedIntersect):
+        return _intersect(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedMinus):
+        return _minus(rel, ctx, batch_size)
+    if isinstance(rel, VectorizedValues):
+        return _values(rel)
+    if isinstance(rel, BatchToRow):
+        # Re-entered from batch context: the row detour is a no-op.
+        return execute_batches(rel.input, ctx, batch_size)
+    if isinstance(rel, RowToBatch):
+        # Engine bridge: pull rows from the row runtime and re-batch.
+        return batches_from_rows(_execute(rel.input, ctx),
+                                 rel.row_type.field_count, batch_size)
+    # Any other node (adapter physical rel reached without a bridge,
+    # row-only operators): execute through the row runtime and chunk.
+    return batches_from_rows(_execute(rel, ctx), rel.row_type.field_count,
+                             batch_size)
+
+
+def _gather_input(rel: RelNode, ctx: ExecutionContext,
+                  batch_size: int) -> ColumnBatch:
+    """Materialise an input subtree into one compact batch."""
+    return concat_batches(execute_batches(rel, ctx, batch_size),
+                          rel.row_type.field_count)
+
+
+# ---------------------------------------------------------------------------
+# Operator implementations
+# ---------------------------------------------------------------------------
+
+def _scan(rel: VectorizedTableScan, ctx: ExecutionContext,
+          batch_size: int) -> Iterator[ColumnBatch]:
+    source = rel.table.source
+    if source is None:
+        raise ValueError(f"table {rel.table.name} has no backing source")
+
+    def counted_rows():
+        for row in source.scan():
+            ctx.rows_scanned += 1
+            yield tuple(row)
+
+    return batches_from_rows(counted_rows(), rel.row_type.field_count,
+                             batch_size)
+
+
+def _filter(rel: VectorizedFilter, ctx: ExecutionContext,
+            batch_size: int) -> Iterator[ColumnBatch]:
+    predicate = compile_rex(rel.condition)
+    eval_ctx = ctx.eval_context()
+    for batch in execute_batches(rel.input, ctx, batch_size):
+        compacted = batch.compact()
+        if compacted.num_rows == 0:
+            continue
+        frame = Frame(compacted.columns, compacted.num_rows, eval_ctx)
+        verdict = predicate(frame)
+        if isinstance(verdict, Scalar):
+            if verdict.value is True:
+                yield compacted
+            continue
+        selection = [i for i, v in enumerate(verdict) if v is True]
+        if selection:
+            yield compacted.with_selection(selection)
+
+
+def _project(rel: VectorizedProject, ctx: ExecutionContext,
+             batch_size: int) -> Iterator[ColumnBatch]:
+    compiled = [compile_rex(p) for p in rel.projects]
+    eval_ctx = ctx.eval_context()
+    for batch in execute_batches(rel.input, ctx, batch_size):
+        compacted = batch.compact()
+        n = compacted.num_rows
+        if n == 0:
+            continue
+        frame = Frame(compacted.columns, n, eval_ctx)
+        yield ColumnBatch([as_column(fn(frame), n) for fn in compiled], n)
+
+
+def _hash_join(rel: VectorizedHashJoin, ctx: ExecutionContext,
+               batch_size: int) -> Iterator[ColumnBatch]:
+    info = rel.analyze_condition()
+    left_keys, right_keys = info.left_keys, info.right_keys
+    join_type = rel.join_type
+    projects_right = join_type.projects_right
+
+    # Build side: materialise the right input as columns + key index.
+    right = _gather_input(rel.right, ctx, batch_size)
+    right_cols = right.columns
+    n_right_rows = right.num_rows
+    n_right_fields = right.field_count
+    index: Dict[tuple, List[int]] = {}
+    right_key_cols = [right_cols[k] for k in right_keys]
+    for i in range(n_right_rows):
+        key = tuple(col[i] for col in right_key_cols)
+        if any(v is None for v in key):
+            continue  # NULL keys never match
+        index.setdefault(key, []).append(i)
+
+    right_matched: Optional[List[bool]] = None
+    if join_type in (JoinRelType.RIGHT, JoinRelType.FULL):
+        right_matched = [False] * n_right_rows
+
+    n_left_fields = rel.left.row_type.field_count
+
+    for batch in execute_batches(rel.left, ctx, batch_size):
+        left = batch.compact()
+        n = left.num_rows
+        if n == 0:
+            continue
+        left_key_cols = [left.columns[k] for k in left_keys]
+        # Index pairs for the output of this probe batch: emitted rows
+        # reference (left position, right position or None).
+        left_out: List[int] = []
+        right_out: List[Optional[int]] = []
+        for i in range(n):
+            key = tuple(col[i] for col in left_key_cols)
+            matches = () if any(v is None for v in key) else index.get(key, ())
+            if join_type is JoinRelType.SEMI:
+                if matches:
+                    left_out.append(i)
+                    right_out.append(None)
+                continue
+            if join_type is JoinRelType.ANTI:
+                if not matches:
+                    left_out.append(i)
+                    right_out.append(None)
+                continue
+            if matches:
+                for j in matches:
+                    if right_matched is not None:
+                        right_matched[j] = True
+                    left_out.append(i)
+                    right_out.append(j)
+            elif join_type in (JoinRelType.LEFT, JoinRelType.FULL):
+                left_out.append(i)
+                right_out.append(None)
+        if not left_out:
+            continue
+        out_cols: List[list] = [
+            [col[i] for i in left_out] for col in left.columns]
+        if projects_right:
+            for col in right_cols:
+                out_cols.append(
+                    [None if j is None else col[j] for j in right_out])
+        yield ColumnBatch(out_cols, len(left_out))
+
+    if right_matched is not None:
+        unmatched = [j for j in range(n_right_rows) if not right_matched[j]]
+        if unmatched:
+            out_cols = [[None] * len(unmatched) for _ in range(n_left_fields)]
+            for col in right_cols:
+                out_cols.append([col[j] for j in unmatched])
+            yield ColumnBatch(out_cols, len(unmatched))
+
+
+# -- aggregation --------------------------------------------------------------
+
+#: Aggregate kinds with a columnar accumulation fast path.
+_FAST_AGG_KINDS = {SqlKind.COUNT, SqlKind.SUM, SqlKind.SUM0, SqlKind.AVG,
+                   SqlKind.MIN, SqlKind.MAX}
+
+
+def _fast_path(call: AggregateCall) -> bool:
+    return (call.op.kind in _FAST_AGG_KINDS and not call.distinct
+            and call.filter_arg is None and len(call.args) <= 1)
+
+
+def _accumulate_fast(call: AggregateCall, column: Optional[list],
+                     group_ids: List[int], n_groups: int) -> List[Any]:
+    """Columnar accumulation for one aggregate call across all groups.
+
+    Accumulation order is row order within each group — identical to the
+    row engine, so float sums agree bit-for-bit.
+    """
+    kind = call.op.kind
+    if column is None:  # COUNT(*)
+        counts = [0] * n_groups
+        for g in group_ids:
+            counts[g] += 1
+        return counts
+    counts = [0] * n_groups
+    if kind is SqlKind.COUNT:
+        for g, v in zip(group_ids, column):
+            if v is not None:
+                counts[g] += 1
+        return counts
+    if kind in (SqlKind.SUM, SqlKind.SUM0, SqlKind.AVG):
+        totals: List[Any] = [None] * n_groups
+        for g, v in zip(group_ids, column):
+            if v is None:
+                continue
+            counts[g] += 1
+            totals[g] = v if totals[g] is None else totals[g] + v
+        if kind is SqlKind.SUM:
+            return totals
+        if kind is SqlKind.SUM0:
+            return [t if t is not None else 0 for t in totals]
+        return [None if c == 0 else t / c for t, c in zip(totals, counts)]
+    best: List[Any] = [None] * n_groups
+    if kind is SqlKind.MIN:
+        for g, v in zip(group_ids, column):
+            if v is not None:
+                best[g] = v if best[g] is None else min(best[g], v)
+        return best
+    # MAX
+    for g, v in zip(group_ids, column):
+        if v is not None:
+            best[g] = v if best[g] is None else max(best[g], v)
+    return best
+
+
+def _aggregate(rel: VectorizedAggregate, ctx: ExecutionContext,
+               batch_size: int) -> Iterator[ColumnBatch]:
+    batch = _gather_input(rel.input, ctx, batch_size)
+    n = batch.num_rows
+    group_set = rel.group_set
+    out_fields = rel.row_type.field_count
+
+    if n == 0:
+        if not group_set:
+            # Global aggregate over empty input still yields one row.
+            accs = [_Accumulator(c) for c in rel.agg_calls]
+            row = tuple(a.result() for a in accs)
+            yield ColumnBatch.from_rows([row], out_fields)
+        else:
+            yield ColumnBatch.empty(out_fields)
+        return
+
+    # Group identification: first-seen order, matching the row engine's
+    # OrderedDict iteration.
+    group_ids: List[int] = [0] * n
+    if group_set:
+        key_cols = [batch.columns[g] for g in group_set]
+        groups: "OrderedDict[tuple, int]" = OrderedDict()
+        if len(key_cols) == 1:
+            col = key_cols[0]
+            for i in range(n):
+                key = (col[i],)
+                gid = groups.get(key)
+                if gid is None:
+                    gid = len(groups)
+                    groups[key] = gid
+                group_ids[i] = gid
+        else:
+            for i, key in enumerate(zip(*key_cols)):
+                gid = groups.get(key)
+                if gid is None:
+                    gid = len(groups)
+                    groups[key] = gid
+                group_ids[i] = gid
+        n_groups = len(groups)
+        key_tuples = list(groups.keys())
+    else:
+        n_groups = 1
+        key_tuples = [()]
+
+    result_cols: List[List[Any]] = [
+        [key_tuples[g][k] for g in range(n_groups)]
+        for k in range(len(group_set))]
+
+    rows: Optional[List[tuple]] = None  # lazily built for generic calls
+    for call in rel.agg_calls:
+        if _fast_path(call):
+            column = batch.columns[call.args[0]] if call.args else None
+            result_cols.append(
+                _accumulate_fast(call, column, group_ids, n_groups))
+        else:
+            # Generic path: feed the row engine's accumulator row by row
+            # (DISTINCT, FILTER, COLLECT, SINGLE_VALUE, multi-arg calls).
+            if rows is None:
+                rows = batch.to_rows()
+            accs = [_Accumulator(call) for _ in range(n_groups)]
+            for i, row in enumerate(rows):
+                accs[group_ids[i]].add(row)
+            result_cols.append([a.result() for a in accs])
+
+    yield ColumnBatch(result_cols, n_groups)
+
+
+def _sort(rel: VectorizedSort, ctx: ExecutionContext,
+          batch_size: int) -> Iterator[ColumnBatch]:
+    batch = _gather_input(rel.input, ctx, batch_size)
+    rows = batch.to_rows()
+    rows = sort_rows(rows, rel.collation)
+    if rel.offset:
+        rows = rows[rel.offset:]
+    if rel.fetch is not None:
+        rows = rows[: rel.fetch]
+    yield ColumnBatch.from_rows(rows, rel.row_type.field_count)
+
+
+def _values(rel: VectorizedValues) -> Iterator[ColumnBatch]:
+    rows = [tuple(lit.value for lit in row) for row in rel.tuples]
+    yield ColumnBatch.from_rows(rows, rel.row_type.field_count)
+
+
+def _union(rel: VectorizedUnion, ctx: ExecutionContext,
+           batch_size: int) -> Iterator[ColumnBatch]:
+    if rel.all:
+        for i in rel.inputs:
+            yield from execute_batches(i, ctx, batch_size)
+        return
+    seen: set = set()
+    field_count = rel.row_type.field_count
+    for i in rel.inputs:
+        for batch in execute_batches(i, ctx, batch_size):
+            out: List[tuple] = []
+            for row in batch.to_rows():
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            if out:
+                yield ColumnBatch.from_rows(out, field_count)
+
+
+def _intersect(rel: VectorizedIntersect, ctx: ExecutionContext,
+               batch_size: int) -> Iterator[ColumnBatch]:
+    sets = [set(_gather_input(i, ctx, batch_size).to_rows())
+            for i in rel.inputs[1:]]
+    seen: set = set()
+    field_count = rel.row_type.field_count
+    for batch in execute_batches(rel.inputs[0], ctx, batch_size):
+        out: List[tuple] = []
+        for row in batch.to_rows():
+            if row in seen:
+                continue
+            if all(row in s for s in sets):
+                seen.add(row)
+                out.append(row)
+        if out:
+            yield ColumnBatch.from_rows(out, field_count)
+
+
+def _minus(rel: VectorizedMinus, ctx: ExecutionContext,
+           batch_size: int) -> Iterator[ColumnBatch]:
+    exclude: set = set()
+    for i in rel.inputs[1:]:
+        exclude |= set(_gather_input(i, ctx, batch_size).to_rows())
+    seen: set = set()
+    field_count = rel.row_type.field_count
+    for batch in execute_batches(rel.inputs[0], ctx, batch_size):
+        out: List[tuple] = []
+        for row in batch.to_rows():
+            if row not in exclude and row not in seen:
+                seen.add(row)
+                out.append(row)
+        if out:
+            yield ColumnBatch.from_rows(out, field_count)

@@ -1,0 +1,245 @@
+"""Cross-engine differential harness: row vs. vectorized.
+
+Every SQL query exercised by ``test_federation_e2e.py`` and the
+planner-driven queries of ``test_paper_examples.py`` runs through both
+built-in engines — the enumerable (row) engine and the vectorized
+(batch/columnar) engine — and the results must be identical:
+order-sensitively for queries with a top-level ORDER BY whose keys are
+unique, order-insensitively otherwise.
+
+(The streaming examples of Section 7.2 are driven by ``StreamExecutor``
+rather than ``Planner.execute`` and have no engine switch, so they are
+out of scope here; ``test_paper_examples.py`` still covers them.)
+"""
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.adapters.jdbc import JdbcSchema, MiniDb
+from repro.adapters.mongo import MongoSchema, MongoStore
+from repro.adapters.splunk import SplunkSchema, SplunkStore
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+from repro.schema.core import ViewTable
+
+
+def build_federated_catalog() -> Catalog:
+    """The multi-backend catalog of ``test_federation_e2e.py``."""
+    catalog = Catalog()
+
+    db = MiniDb("mysql")
+    mysql = JdbcSchema("mysql", db)
+    catalog.add_schema(mysql)
+    mysql.add_jdbc_table(
+        "products", ["productId", "name", "price"],
+        [F.integer(False), F.varchar(), F.integer()],
+        [(1, "widget", 10), (2, "gadget", 25), (3, "gizmo", 40)])
+
+    splunk_store = SplunkStore()
+    splunk = SplunkSchema("splunk", splunk_store)
+    catalog.add_schema(splunk)
+    splunk.add_splunk_table(
+        "orders", ["rowtime", "productId", "units"],
+        [F.timestamp(False), F.integer(False), F.integer(False)],
+        [{"rowtime": 1, "productId": 1, "units": 30},
+         {"rowtime": 2, "productId": 2, "units": 10},
+         {"rowtime": 3, "productId": 1, "units": 50},
+         {"rowtime": 4, "productId": 3, "units": 5}])
+
+    mongo_store = MongoStore()
+    mongo = MongoSchema("mongo", mongo_store)
+    catalog.add_schema(mongo)
+    mongo.add_collection("reviews", [
+        {"productId": 1, "stars": 5}, {"productId": 1, "stars": 4},
+        {"productId": 2, "stars": 2}])
+    mongo.add_table(ViewTable(
+        "reviews_rel",
+        "SELECT CAST(_MAP['productId'] AS integer) AS productId,"
+        " CAST(_MAP['stars'] AS integer) AS stars FROM mongo.reviews"))
+
+    memory = Schema("ref")
+    catalog.add_schema(memory)
+    memory.add_table(MemoryTable(
+        "categories", ["productId", "category"],
+        [F.integer(False), F.varchar()],
+        [(1, "tools"), (2, "toys"), (3, "tools")]))
+    return catalog
+
+
+def build_zips_catalog() -> Catalog:
+    """Section 7.1's raw MongoDB zips collection."""
+    catalog = Catalog()
+    mongo = MongoSchema("mongo_raw", MongoStore())
+    catalog.add_schema(mongo)
+    mongo.add_collection("zips", [
+        {"city": "AMSTERDAM", "loc": [4.9, 52.37], "pop": 921000}])
+    return catalog
+
+
+def build_country_catalog() -> Catalog:
+    """Section 7.3's geospatial country table."""
+    import repro.geo  # noqa: F401  (registers the ST_* functions)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    s.add_table(MemoryTable(
+        "country", ["name", "boundary"], [F.varchar(), F.varchar()],
+        [("Netherlands",
+          "POLYGON ((3.3 50.7, 7.2 50.7, 7.2 53.6, 3.3 53.6, 3.3 50.7))"),
+         ("Spain",
+          "POLYGON ((-9.3 36.0, 3.3 36.0, 3.3 43.8, -9.3 43.8, -9.3 36.0))")]))
+    return catalog
+
+
+def build_figure2_catalog() -> Catalog:
+    """Section 4 / Figure 2's Splunk ⋈ MySQL walk-through."""
+    db = MiniDb("mysql")
+    store = SplunkStore()
+    catalog = Catalog()
+    catalog.add_schema(JdbcSchema("mysql", db))
+    splunk = SplunkSchema("splunk", store)
+    catalog.add_schema(splunk)
+    catalog.resolve_schema(["mysql"]).add_jdbc_table(
+        "products", ["productId", "name"],
+        [F.integer(False), F.varchar()], [(1, "widget")])
+    splunk.add_splunk_table(
+        "orders", ["rowtime", "productId", "units"],
+        [F.timestamp(False), F.integer(False), F.integer(False)],
+        [{"rowtime": 1, "productId": 1, "units": 30}])
+    store.register_lookup("products", ["productId", "name"],
+                          lambda: db.table("products").rows)
+    return catalog
+
+
+def build_sales_catalog() -> Catalog:
+    """The Section 6 / Figure 4 sales ⋈ products schema (seeded)."""
+    import random
+    rng = random.Random(42)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    products = [(pid, f"prod{pid}", rng.choice(["A", "B", "C"]))
+                for pid in range(50)]
+    sales = []
+    for i in range(1000):
+        pid = rng.randrange(50)
+        discount = rng.choice([None, 5, 10, 15])
+        sales.append((i, pid, discount, rng.randrange(1, 20)))
+    s.add_table(MemoryTable(
+        "products", ["productId", "name", "category"],
+        [F.integer(False), F.varchar(), F.varchar()], products))
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "discount", "units"],
+        [F.integer(False), F.integer(False), F.integer(), F.integer(False)],
+        sales))
+    return catalog
+
+
+#: (case id, catalog builder, SQL, ordered?).  ``ordered`` requests an
+#: order-sensitive comparison and is only set where the ORDER BY keys
+#: are unique (ties may legitimately order differently between engines).
+CASES = [
+    # -- test_federation_e2e.py ----------------------------------------
+    ("fed_two_backend_join", build_federated_catalog,
+     "SELECT p.name, SUM(o.units) AS total "
+     "FROM splunk.orders o JOIN mysql.products p "
+     "ON o.productId = p.productId GROUP BY p.name ORDER BY total DESC",
+     True),
+    ("fed_three_backend_join", build_federated_catalog,
+     "SELECT c.category, SUM(o.units * p.price) AS revenue "
+     "FROM splunk.orders o "
+     "JOIN mysql.products p ON o.productId = p.productId "
+     "JOIN ref.categories c ON p.productId = c.productId "
+     "GROUP BY c.category ORDER BY revenue DESC",
+     True),
+    ("fed_semistructured_join", build_federated_catalog,
+     "SELECT p.name, AVG(r.stars) AS rating "
+     "FROM mongo.reviews_rel r JOIN mysql.products p "
+     "ON r.productId = p.productId GROUP BY p.name ORDER BY rating DESC",
+     True),
+    ("fed_filters_pushed", build_federated_catalog,
+     "SELECT o.rowtime FROM splunk.orders o "
+     "JOIN mysql.products p ON o.productId = p.productId "
+     "WHERE o.units > 20 AND p.price < 20",
+     False),
+    ("fed_count_star_join", build_federated_catalog,
+     "SELECT COUNT(*) FROM splunk.orders o "
+     "JOIN mysql.products p ON o.productId = p.productId",
+     False),
+    ("fed_union_across_backends", build_federated_catalog,
+     "SELECT productId FROM mysql.products "
+     "UNION SELECT productId FROM ref.categories",
+     False),
+    # -- test_paper_examples.py ----------------------------------------
+    ("paper_s6_filter_into_join", build_sales_catalog,
+     "SELECT products.name, COUNT(*) "
+     "FROM s.sales JOIN s.products USING (productId) "
+     "WHERE sales.discount IS NOT NULL "
+     "GROUP BY products.name "
+     "ORDER BY COUNT(*) DESC",
+     False),  # counts tie across products; compare as multisets
+    ("paper_s71_mongo_zips", build_zips_catalog,
+     "SELECT CAST(_MAP['city'] AS varchar(20)) AS city, "
+     "CAST(_MAP['loc'][1] AS float) AS longitude, "
+     "CAST(_MAP['loc'][2] AS float) AS latitude "
+     "FROM mongo_raw.zips",
+     False),
+    ("paper_s73_geospatial", build_country_catalog,
+     'SELECT name FROM ('
+     '  SELECT name,'
+     "    ST_GeomFromText('POLYGON ((4.82 52.43, 4.97 52.43, 4.97 52.33,"
+     "        4.82 52.33, 4.82 52.43))') AS \"Amsterdam\","
+     '    ST_GeomFromText(boundary) AS "Country"'
+     '  FROM s.country'
+     ') WHERE ST_Contains("Country", "Amsterdam")',
+     False),
+    ("paper_s4_figure2", build_figure2_catalog,
+     "SELECT o.rowtime, p.name FROM splunk.orders o "
+     "JOIN mysql.products p ON o.productId = p.productId "
+     "WHERE o.units > 20",
+     False),
+]
+
+
+_CATALOG_CACHE = {}
+
+
+def _planners(builder):
+    """One (row, vectorized) planner pair per catalog, module-cached."""
+    if builder not in _CATALOG_CACHE:
+        catalog = builder()
+        _CATALOG_CACHE[builder] = (
+            Planner(FrameworkConfig(catalog)),
+            Planner(FrameworkConfig(catalog, engine="vectorized")))
+    return _CATALOG_CACHE[builder]
+
+
+@pytest.mark.parametrize(
+    "builder,sql,ordered",
+    [pytest.param(b, sql, ordered, id=case_id)
+     for case_id, b, sql, ordered in CASES])
+def test_row_and_vectorized_engines_agree(builder, sql, ordered):
+    row_planner, vec_planner = _planners(builder)
+    row_result = row_planner.execute(sql)
+    vec_result = vec_planner.execute(sql)
+    assert row_result.columns == vec_result.columns
+    if ordered:
+        assert row_result.rows == vec_result.rows
+    else:
+        assert sorted(row_result.rows, key=repr) == \
+            sorted(vec_result.rows, key=repr)
+
+
+def test_vectorized_plans_actually_vectorize():
+    """Guard against the differential suite silently comparing the row
+    engine against itself: a single-backend aggregation must plan into
+    vectorized operators."""
+    _row, vec = _planners(build_sales_catalog)
+    plan = vec.optimize(vec.rel(
+        "SELECT category, COUNT(*) FROM s.products GROUP BY category"))
+    assert "Vectorized" in plan.explain()
+
+
+def test_engine_config_is_validated():
+    with pytest.raises(ValueError, match="unknown engine"):
+        Planner(FrameworkConfig(Catalog(), engine="turbo"))

@@ -1,0 +1,123 @@
+"""Golden-plan regression tests.
+
+Snapshots of the optimized physical plan for representative queries
+under the standard rule set.  Any change to rules, cost model or planner
+internals that alters a chosen plan shows up as a reviewable diff of
+``tests/golden_plans/*.txt`` instead of a silent behaviour change.
+
+Regenerate after an intentional planner change with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_plans.py
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden_plans"
+
+
+def build_catalog() -> Catalog:
+    """A deterministic two-schema catalog (no random data: plan choice
+    depends only on statistics, which are fixed here)."""
+    catalog = Catalog()
+    hr = Schema("hr")
+    catalog.add_schema(hr)
+    hr.add_table(MemoryTable(
+        "emps", ["empid", "deptno", "name", "sal", "commission"],
+        [F.integer(False), F.integer(False), F.varchar(), F.integer(),
+         F.integer()],
+        [(100 + i, 10 * (1 + i % 3), f"e{i}", 5000 + 100 * i,
+          None if i % 4 == 0 else 10 * i)
+         for i in range(20)]))
+    hr.add_table(MemoryTable(
+        "depts", ["deptno", "dname"],
+        [F.integer(False), F.varchar()],
+        [(10, "Sales"), (20, "Marketing"), (30, "HR"), (40, "Empty")]))
+    s = Schema("s")
+    catalog.add_schema(s)
+    s.add_table(MemoryTable(
+        "products", ["productId", "name", "category"],
+        [F.integer(False), F.varchar(), F.varchar()],
+        [(pid, f"prod{pid}", "ABC"[pid % 3]) for pid in range(30)]))
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "discount", "units"],
+        [F.integer(False), F.integer(False), F.integer(), F.integer(False)],
+        [(i, i % 30, None if i % 3 else 5, 1 + i % 7) for i in range(600)]))
+    return catalog
+
+
+#: (snapshot name, engine, SQL)
+GOLDEN_QUERIES = [
+    ("filter_project", "row",
+     "SELECT name, sal + 100 FROM hr.emps WHERE deptno = 10"),
+    ("filter_into_join", "row",
+     "SELECT e.name, d.dname FROM hr.emps e JOIN hr.depts d "
+     "ON e.deptno = d.deptno WHERE e.sal > 6000"),
+    ("join_aggregate_order", "row",
+     "SELECT p.name, SUM(sa.units) AS total FROM s.sales sa "
+     "JOIN s.products p ON sa.productId = p.productId "
+     "GROUP BY p.name ORDER BY total DESC"),
+    ("three_way_join", "row",
+     "SELECT e.name, d.dname, p.name FROM hr.emps e "
+     "JOIN hr.depts d ON e.deptno = d.deptno "
+     "JOIN s.products p ON e.empid = p.productId"),
+    ("distinct_aggregate", "row",
+     "SELECT deptno, COUNT(DISTINCT name) FROM hr.emps GROUP BY deptno"),
+    ("sort_limit", "row",
+     "SELECT empid, sal FROM hr.emps ORDER BY sal DESC LIMIT 5"),
+    ("union_distinct", "row",
+     "SELECT deptno FROM hr.emps UNION SELECT deptno FROM hr.depts"),
+    ("having_filter", "row",
+     "SELECT deptno, COUNT(*) AS c FROM hr.emps "
+     "GROUP BY deptno HAVING COUNT(*) > 3"),
+    ("case_projection", "row",
+     "SELECT empid, CASE WHEN commission IS NULL THEN 0 ELSE commission END "
+     "FROM hr.emps WHERE sal > 5500"),
+    ("in_values_filter", "row",
+     "SELECT name FROM s.products WHERE category IN ('A', 'B')"),
+    # The same plans under the vectorized engine: the snapshot documents
+    # the convention change and the absence of row/batch bridges on
+    # single-backend memory plans.
+    ("filter_into_join_vectorized", "vectorized",
+     "SELECT e.name, d.dname FROM hr.emps e JOIN hr.depts d "
+     "ON e.deptno = d.deptno WHERE e.sal > 6000"),
+    ("join_aggregate_order_vectorized", "vectorized",
+     "SELECT p.name, SUM(sa.units) AS total FROM s.sales sa "
+     "JOIN s.products p ON sa.productId = p.productId "
+     "GROUP BY p.name ORDER BY total DESC"),
+]
+
+
+_PLANNERS = {}
+
+
+def _planner(engine: str) -> Planner:
+    if engine not in _PLANNERS:
+        _PLANNERS[engine] = Planner(
+            FrameworkConfig(build_catalog(), engine=engine))
+    return _PLANNERS[engine]
+
+
+@pytest.mark.parametrize(
+    "name,engine,sql",
+    [pytest.param(*case, id=case[0]) for case in GOLDEN_QUERIES])
+def test_optimized_plan_matches_golden(name, engine, sql):
+    planner = _planner(engine)
+    plan_text = planner.optimize(planner.rel(sql)).explain() + "\n"
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("GOLDEN_REGEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(plan_text)
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path.name}; "
+        f"run with GOLDEN_REGEN=1 to create it")
+    assert plan_text == golden_path.read_text(), (
+        f"optimized plan for {name!r} changed; if intentional, regenerate "
+        f"with GOLDEN_REGEN=1")
