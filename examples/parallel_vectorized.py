@@ -1,0 +1,62 @@
+"""Parallel partitioned execution: ``parallelism=N`` on the vectorized
+engine.
+
+``FrameworkConfig(engine="vectorized", parallelism=N)`` makes the
+planner enforce distribution traits with exchange operators — hash
+exchanges that co-partition join inputs and aggregate groups, a
+broadcast for small join build sides, and a gather at the root — and
+the runtime shards ``ColumnBatch`` streams across N workers.
+``parallelism=1`` is exactly the serial vectorized path.
+
+Run:  python examples/parallel_vectorized.py
+"""
+
+import random
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+
+
+def build_catalog(n_sales: int = 50_000, n_products: int = 100) -> Catalog:
+    rng = random.Random(42)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    s.add_table(MemoryTable(
+        "products", ["productId", "name", "category"],
+        [F.integer(False), F.varchar(), F.varchar()],
+        [(pid, f"prod{pid}", "ABC"[pid % 3]) for pid in range(n_products)]))
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "units"],
+        [F.integer(False), F.integer(False), F.integer(False)],
+        [(i, rng.randrange(n_products), 1 + i % 9) for i in range(n_sales)]))
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+    sql = ("SELECT p.category, COUNT(*) AS n, SUM(sa.units) AS total, "
+           "AVG(sa.units) AS avg_units "
+           "FROM s.sales sa JOIN s.products p "
+           "ON sa.productId = p.productId "
+           "GROUP BY p.category ORDER BY total DESC")
+
+    # Serial baseline and a 4-worker parallel plan over the same catalog.
+    serial = Planner(FrameworkConfig(catalog, engine="vectorized"))
+    parallel = Planner(FrameworkConfig(catalog, engine="vectorized",
+                                       parallelism=4))
+
+    print("== parallel plan (note the exchange operators) ==")
+    print(parallel.optimize(parallel.rel(sql)).explain())
+
+    print("\n== results agree with the serial engine ==")
+    serial_rows = serial.execute(sql).rows
+    parallel_rows = parallel.execute(sql).rows
+    for row in parallel_rows:
+        print(row)
+    assert parallel_rows == serial_rows  # ORDER BY survives the gather
+
+
+if __name__ == "__main__":
+    main()

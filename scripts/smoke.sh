@@ -8,8 +8,15 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 MARKER_ARGS=()
+# The cross-engine leg leaves the worker matrix to the dedicated
+# parallel leg below, so the (slow) multi-worker tests run once.
+CROSS_ENGINE_MARKER="not parallel"
+PARALLEL_MARKER="parallel"
 if [[ -n "${SMOKE_QUICK:-}" ]]; then
     MARKER_ARGS=(-m "not slow")
+    CROSS_ENGINE_MARKER="not parallel and not slow"
+    # Quick runs bound the worker matrix to the 2-worker axis.
+    PARALLEL_MARKER="parallel and not slow"
 fi
 
 # (the ${arr[@]+...} form keeps empty-array expansion safe under
@@ -20,7 +27,15 @@ python -m pytest -x -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"}
 
 # Cross-engine gates: row and vectorized engines must agree everywhere,
 # and the vectorized engine must win the scan+filter+aggregate bench.
-python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
+python -m pytest -q -m "$CROSS_ENGINE_MARKER" \
     tests/test_engine_differential.py \
     tests/test_vectorized_property.py \
     benchmarks/bench_vectorized.py
+
+# Parallelism matrix: the multi-worker axis (parallelism 2, and 4 when
+# not in quick mode) of the differential suite, the parallel runtime
+# tests, and the worker-scaling bench.
+python -m pytest -q -m "$PARALLEL_MARKER" \
+    tests/test_engine_differential.py \
+    tests/test_parallel_execution.py \
+    benchmarks/bench_parallel.py

@@ -93,12 +93,23 @@ class SortProjectTransposeRule(RelOptRule):
         return all(k in perm for k in sort.collation.keys)
 
     def on_match(self, call: RelOptRuleCall) -> None:
-        from ..traits import RelFieldCollation
+        from ..rel import LogicalProject, LogicalSort
+        from ..traits import Convention, RelFieldCollation, RelTraitSet
         sort, project = call.rel(0), call.rel(1)
         perm = project.permutation()
         assert perm is not None
         new_collation = RelCollation([
             RelFieldCollation(perm[fc.field_index], fc.descending, fc.nulls_first)
             for fc in sort.collation.field_collations])
-        new_sort = type(sort)(project.input, new_collation, sort.offset, sort.fetch)
-        call.transform_to(project.copy(inputs=[new_sort]))
+        # Register the canonical *logical* form and let converter rules
+        # derive physical variants.  Rebuilding with the matched nodes'
+        # own classes (Volcano also binds physical members here) used to
+        # produce convention-mixed trees — e.g. a VectorizedProject over
+        # a LogicalSort — that executed through the row fallback and
+        # bypassed the physical sort implementations entirely.
+        new_sort = LogicalSort(
+            project.input, new_collation, sort.offset, sort.fetch,
+            RelTraitSet(Convention.NONE, new_collation))
+        call.transform_to(LogicalProject(
+            new_sort, project.projects, project.field_names,
+            RelTraitSet(Convention.NONE)))

@@ -133,13 +133,51 @@ RelCollation.EMPTY = RelCollation()
 
 
 class RelDistribution(RelTrait):
-    """How rows are spread across parallel workers."""
+    """How rows are spread across parallel workers.
+
+    The distribution lattice (checked by :meth:`satisfies`):
+
+    * ``ANY`` — no constraint; satisfied by every distribution.
+    * ``SINGLETON`` — all rows on one worker (a single serial stream).
+    * ``BROADCAST`` — every worker holds a full copy of all rows.  A
+      broadcast input trivially co-locates with *any* partitioning, so
+      it satisfies any required ``HASH`` or ``RANDOM`` (callers must
+      broadcast at most one input of a binary operator, or rows are
+      duplicated at the gather point).
+    * ``HASH[keys]`` — rows partitioned by a hash of ``keys``.  Keys
+      are canonicalised (sorted) on construction so that ``HASH[2,1]``
+      and ``HASH[1,2]`` are the same trait: hashing is insensitive to
+      the order the planner happened to list the key columns in.  A
+      hash distribution is a valid "each row on exactly one worker"
+      placement, so it also satisfies a required ``RANDOM``.
+    * ``RANDOM`` — rows spread arbitrarily, each on exactly one
+      worker.  ``SINGLETON`` deliberately does *not* satisfy a
+      required ``RANDOM``: requiring RANDOM is how the planner asks
+      for actual parallelism, and a single serial stream provides
+      none.
+
+    ``RANGE`` partitioning is not implemented; the constructor rejects
+    it outright rather than accepting a trait no operator can produce
+    or enforce.
+    """
 
     trait_def = "distribution"
 
     def __init__(self, dist_type: str, keys: Sequence[int] = ()) -> None:
-        if dist_type not in ("ANY", "SINGLETON", "BROADCAST", "HASH", "RANDOM", "RANGE"):
+        if dist_type == "RANGE":
+            raise ValueError(
+                "RANGE distribution is not implemented: no exchange operator "
+                "can produce it and no rule can enforce it; use HASH instead")
+        if dist_type not in ("ANY", "SINGLETON", "BROADCAST", "HASH", "RANDOM"):
             raise ValueError(f"bad distribution {dist_type}")
+        if dist_type == "HASH":
+            if not keys:
+                raise ValueError("HASH distribution requires at least one key")
+            # Canonical key order: hash partitioning does not depend on
+            # the order keys are listed in, so HASH[2,1] == HASH[1,2].
+            keys = sorted(keys)
+        elif keys:
+            raise ValueError(f"{dist_type} distribution takes no keys")
         self.dist_type = dist_type
         self.keys = tuple(keys)
 
@@ -152,7 +190,18 @@ class RelDistribution(RelTrait):
             return False
         if required.dist_type == "ANY":
             return True
-        return self.dist_type == required.dist_type and self.keys == required.keys
+        if self == required:
+            return True
+        if self.dist_type == "BROADCAST":
+            # Every worker holds all rows: any co-location or spread
+            # requirement holds trivially (except SINGLETON, where the
+            # copies would be double-counted at the gather point).
+            return required.dist_type in ("HASH", "RANDOM")
+        if required.dist_type == "RANDOM":
+            # "Each row on exactly one worker, actually spread":
+            # satisfied by any real partitioning.
+            return self.dist_type == "HASH"
+        return False
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, RelDistribution)

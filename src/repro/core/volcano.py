@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .cost import RelOptCost
 from .metadata import MetadataProvider, RelMetadataQuery
 from .rel import RelNode
 from .rule import ConverterRule, RelOptRule, RelOptRuleCall, match_operand
-from .traits import Convention, RelTraitSet
+from .traits import Convention, RelDistribution, RelTraitSet
 from .types import RelDataType
 
 _set_ids = itertools.count()
@@ -172,12 +172,22 @@ class VolcanoPlanner:
         consecutive rule firings (fix point (ii)).
     delta:
         Relative cost-improvement threshold δ for the heuristic stop.
+    distribution_enforcer:
+        Optional ``(plan, required_distribution) -> plan`` callback.
+        When the required trait set demands a distribution no
+        registered expression carries, the planner extracts the best
+        plan for the distribution-relaxed traits and asks the enforcer
+        to wrap it (e.g. with a gather exchange) — the same
+        trait-enforcement idea as converter rules, applied to the
+        distribution trait at the root.
     """
 
     def __init__(self, rules: Optional[Sequence[RelOptRule]] = None,
                  mq: Optional[RelMetadataQuery] = None,
                  exhaustive: bool = True, delta: float = 0.0,
-                 patience: int = 50, max_matches: int = 20_000) -> None:
+                 patience: int = 50, max_matches: int = 20_000,
+                 distribution_enforcer: Optional[
+                     Callable[[RelNode, RelDistribution], RelNode]] = None) -> None:
         self.rules: List[RelOptRule] = list(rules or [])
         providers = [_VolcanoMetadataProvider()]
         if mq is not None:
@@ -189,6 +199,7 @@ class VolcanoPlanner:
         self.delta = delta
         self.patience = patience
         self.max_matches = max_matches
+        self.distribution_enforcer = distribution_enforcer
 
         self._digest_to_rel: Dict[str, RelNode] = {}
         self._rel_to_set: Dict[int, RelSet] = {}
@@ -419,10 +430,19 @@ class VolcanoPlanner:
         root_subset = self.register(root)
         root_set = root_subset.rel_set.canonical()
         self._root_subset = root_set.subset(required)
+        # With an enforcer, no registered expression will ever satisfy a
+        # non-ANY required distribution (enforcement happens at
+        # extraction); track search progress on the relaxed traits so
+        # the heuristic stop still sees costs improve.
+        track_traits = required
+        if (self.distribution_enforcer is not None
+                and required.distribution != RelDistribution.ANY):
+            track_traits = RelTraitSet(required.convention, required.collation,
+                                       RelDistribution.ANY)
         self._propagate_costs()
 
         no_improve = 0
-        last_best = self._root_subset.best_cost
+        last_best = root_set.subset(track_traits).best_cost
         check_interval = 10  # cost relaxation cadence in heuristic mode
         while self._queue and self.matches_fired < self.max_matches:
             rule, binding = self._queue.popleft()
@@ -438,7 +458,7 @@ class VolcanoPlanner:
             self.matches_fired += 1
             if not self.exhaustive and self.matches_fired % check_interval == 0:
                 self._propagate_costs()
-                subset = self._root_subset.rel_set.canonical().subset(required)
+                subset = self._root_subset.rel_set.canonical().subset(track_traits)
                 current = subset.best_cost
                 if not current.is_infinite() and not last_best.is_infinite():
                     improvement = (last_best.value - current.value) / max(last_best.value, 1e-9)
@@ -452,7 +472,18 @@ class VolcanoPlanner:
                 if no_improve >= self.patience:
                     break
         self._propagate_costs()
-        final_subset = self._root_subset.rel_set.canonical().subset(required)
+        final_set = self._root_subset.rel_set.canonical()
+        final_subset = final_set.subset(required)
+        if (final_subset.best is None
+                and self.distribution_enforcer is not None
+                and required.distribution != RelDistribution.ANY):
+            # Distribution trait enforcement: extract the cheapest plan
+            # ignoring distribution and let the enforcer add the
+            # exchange that establishes the required one.
+            relaxed = final_set.subset(track_traits)
+            if relaxed.best is not None:
+                plan = self._extract(relaxed, set())
+                return self.distribution_enforcer(plan, required.distribution)
         return self._extract(final_subset, set())
 
     find_best_exp = optimize

@@ -26,6 +26,16 @@ vectorized plan root is executed through the same
 :func:`repro.runtime.operators.execute` entry point (every vectorized
 operator exposes ``execute_rows``), so :class:`Result` is
 engine-agnostic.
+
+``FrameworkConfig(engine="vectorized", parallelism=N)`` with N > 1
+additionally requires a ``SINGLETON`` distribution at the plan root:
+the Volcano planner enforces it with a gather exchange, the
+exchange-insertion rules (:mod:`repro.runtime.vectorized.parallel_rules`)
+place hash/broadcast/random exchanges wherever an operator requires a
+distribution its input does not already satisfy, and the worker-pool
+scheduler (:mod:`repro.runtime.vectorized.parallel`) shards
+``ColumnBatch`` streams across N workers.  ``parallelism=1`` is
+exactly the serial vectorized path, plan and all.
 """
 
 from __future__ import annotations
@@ -43,11 +53,12 @@ from .core.rules import (
     reduce_expression_rules,
     standard_logical_rules,
 )
-from .core.traits import Convention, RelTraitSet
-from .core.volcano import VolcanoPlanner
+from .core.traits import Convention, RelCollation, RelDistribution, RelTraitSet
+from .core.volcano import CannotPlanError, VolcanoPlanner
 from .runtime.nodes import enumerable_rules
 from .runtime.operators import ExecutionContext, execute
 from .runtime.vectorized import vectorized_rules
+from .runtime.vectorized.parallel_rules import DEFAULT_BROADCAST_THRESHOLD
 from .schema.core import Catalog
 from .sql.parser import parse
 from .sql.to_rel import SqlToRelConverter
@@ -61,6 +72,15 @@ class FrameworkConfig:
     #: execution engine: "row" (enumerable iterators) or "vectorized"
     #: (batch/columnar with compiled expressions)
     engine: str = "row"
+    #: number of workers for the vectorized engine.  With N > 1 the
+    #: planner enforces distribution traits with exchange operators
+    #: (hash/broadcast/random/gather) and the runtime shards
+    #: ``ColumnBatch`` streams across N workers; 1 is today's serial
+    #: path, plan and all.
+    parallelism: int = 1
+    #: join build sides at or below this estimated row count are
+    #: broadcast instead of hash-partitioning both inputs
+    broadcast_join_threshold: float = DEFAULT_BROADCAST_THRESHOLD
     #: extra rules (beyond the standard set and adapter-contributed ones)
     rules: List[RelOptRule] = field(default_factory=list)
     #: extra metadata providers, consulted before the defaults
@@ -86,6 +106,13 @@ class Planner:
         if config.engine not in ("row", "vectorized"):
             raise ValueError(
                 f"unknown engine {config.engine!r}; expected 'row' or 'vectorized'")
+        if config.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {config.parallelism}")
+        if config.parallelism > 1 and config.engine != "vectorized":
+            raise ValueError(
+                "parallelism > 1 requires engine='vectorized' (the row "
+                "engine has no partitioned execution path)")
         self.config = config
         self.catalog = config.catalog
         self.converter = SqlToRelConverter(self.catalog)
@@ -112,7 +139,13 @@ class Planner:
         """
         rel = self.rewrite_with_hep(rel)
         rel = self.apply_materializations(rel)
-        return self.optimize_with_volcano(rel, required)
+        rel = self.optimize_with_volcano(rel, required)
+        if self.config.engine == "vectorized" and self.config.parallelism > 1:
+            from .runtime.vectorized.parallel_rules import insert_exchanges
+            rel = insert_exchanges(
+                rel, self.config.parallelism, mq=self._mq(),
+                broadcast_threshold=self.config.broadcast_join_threshold)
+        return rel
 
     def rewrite_with_hep(self, rel: RelNode) -> RelNode:
         program = HepProgram()
@@ -145,14 +178,34 @@ class Planner:
         planner = VolcanoPlanner(
             rules=rules, mq=self._mq(),
             exhaustive=self.config.exhaustive,
-            delta=self.config.delta, patience=self.config.patience)
+            delta=self.config.delta, patience=self.config.patience,
+            distribution_enforcer=self._distribution_enforcer())
         self.last_volcano = planner
         return planner.optimize(rel, required or self.required_traits())
+
+    def _distribution_enforcer(self):
+        """Root distribution enforcement for parallel vectorized plans."""
+        if self.config.engine != "vectorized" or self.config.parallelism <= 1:
+            return None
+        parallelism = self.config.parallelism
+
+        def enforce(plan: RelNode, distribution: RelDistribution) -> RelNode:
+            if distribution == RelDistribution.SINGLETON:
+                from .runtime.vectorized.exchange import SingletonExchange
+                return SingletonExchange(plan, parallelism)
+            raise CannotPlanError(
+                f"no enforcer for required distribution {distribution!r}")
+
+        return enforce
 
     def required_traits(self) -> RelTraitSet:
         """The root trait set implied by the configured engine."""
         if self.config.engine == "vectorized":
-            return RelTraitSet(Convention.VECTORIZED)
+            distribution = (RelDistribution.SINGLETON
+                            if self.config.parallelism > 1
+                            else RelDistribution.ANY)
+            return RelTraitSet(Convention.VECTORIZED, RelCollation.EMPTY,
+                               distribution)
         return RelTraitSet(Convention.ENUMERABLE)
 
     def all_rules(self) -> List[RelOptRule]:

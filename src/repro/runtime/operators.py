@@ -455,6 +455,47 @@ def sort_rows(rows: List[tuple], collation) -> List[tuple]:
     return rows
 
 
+class _DescKey:
+    """Inverts the ordering of a wrapped key (for DESC fields in a
+    composite sort key)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "_DescKey") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DescKey) and self.inner == other.inner
+
+
+def row_sort_key(collation) -> Callable[[tuple], tuple]:
+    """A single composite key function equivalent to :func:`sort_rows`.
+
+    ``sorted(rows, key=row_sort_key(c))`` produces exactly the rows of
+    ``sort_rows(rows, c)`` (both are stable), which makes the key usable
+    with bounded top-N selection (``heapq.nsmallest``) and with ordered
+    k-way merges of pre-sorted partition streams (``heapq.merge``).
+    """
+    parts = []
+    for fc in collation.field_collations:
+        nulls_big = fc.descending == fc.nulls_first
+        parts.append((fc.field_index, nulls_big, fc.descending))
+
+    def key(row: tuple) -> tuple:
+        out = []
+        for index, nulls_big, descending in parts:
+            k: Any = _NullsKey(row[index], nulls_big)
+            if descending:
+                k = _DescKey(k)
+            out.append(k)
+        return tuple(out)
+
+    return key
+
+
 def _union(rel: Union, ctx: ExecutionContext) -> Iterator[tuple]:
     if rel.all:
         for i in rel.inputs:

@@ -15,8 +15,17 @@ from .batch import (
     batches_from_rows,
     concat_batches,
 )
+from .exchange import (
+    BroadcastExchange,
+    Exchange,
+    HashExchange,
+    RandomExchange,
+    SingletonExchange,
+    exchanges_in,
+)
 from .executor import execute_batches
 from .expr import Frame, Scalar, compile_rex, eval_rex_column
+from .parallel_rules import insert_exchanges
 from .nodes import (
     VECTORIZED,
     BatchToRow,
@@ -38,7 +47,12 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "VECTORIZED",
     "BatchToRow",
+    "BroadcastExchange",
     "ColumnBatch",
+    "Exchange",
+    "HashExchange",
+    "RandomExchange",
+    "SingletonExchange",
     "Frame",
     "RowToBatch",
     "Scalar",
@@ -56,6 +70,8 @@ __all__ = [
     "compile_rex",
     "concat_batches",
     "eval_rex_column",
+    "exchanges_in",
     "execute_batches",
+    "insert_exchanges",
     "vectorized_rules",
 ]

@@ -15,19 +15,27 @@ one batch first.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional
 
 from ...core.rel import AggregateCall, JoinRelType, RelNode
 from ...core.rex import SqlKind
 from ...core.rex_eval import EvalContext
-from ..operators import ExecutionContext, _Accumulator, _execute, sort_rows
+from ..operators import (
+    ExecutionContext,
+    _Accumulator,
+    _execute,
+    row_sort_key,
+    sort_rows,
+)
 from .batch import (
     DEFAULT_BATCH_SIZE,
     ColumnBatch,
     batches_from_rows,
     concat_batches,
 )
+from .exchange import Exchange, InjectedBatches, SingletonExchange
 from .expr import Frame, Scalar, as_column, compile_rex
 from .nodes import (
     BatchToRow,
@@ -70,6 +78,17 @@ def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
         return _minus(rel, ctx, batch_size)
     if isinstance(rel, VectorizedValues):
         return _values(rel)
+    if isinstance(rel, InjectedBatches):
+        # A partition stream injected by the parallel scheduler.
+        return iter(rel.batches)
+    if isinstance(rel, SingletonExchange):
+        # Gather point of a parallel region: run the workers below.
+        from .parallel import gather_batches
+        return gather_batches(rel, ctx, batch_size)
+    if isinstance(rel, Exchange):
+        # Any other exchange reached serially is a no-op: distribution
+        # is placement, and one stream is every placement at once.
+        return execute_batches(rel.input, ctx, batch_size)
     if isinstance(rel, BatchToRow):
         # Re-entered from batch context: the row detour is a no-op.
         return execute_batches(rel.input, ctx, batch_size)
@@ -342,16 +361,68 @@ def _aggregate(rel: VectorizedAggregate, ctx: ExecutionContext,
     yield ColumnBatch(result_cols, n_groups)
 
 
+#: Bound under which a LIMIT with a collation uses the top-N heap
+#: instead of a full materialise-and-sort.
+TOP_N_HEAP_MAX = 4096
+
+
 def _sort(rel: VectorizedSort, ctx: ExecutionContext,
           batch_size: int) -> Iterator[ColumnBatch]:
+    if rel.is_pure_limit():
+        # LIMIT/OFFSET with no collation: stream batches, slicing
+        # columns in place, and stop pulling input once satisfied —
+        # no materialisation and no row conversion.
+        yield from _limit_stream(rel, ctx, batch_size)
+        return
+    offset = rel.offset or 0
+    if rel.fetch is not None and offset + rel.fetch <= TOP_N_HEAP_MAX:
+        # Small LIMIT under an ORDER BY: keep only the top offset+fetch
+        # rows in a bounded heap while streaming the input.
+        # heapq.nsmallest is stable (== sorted(...)[:n]), matching the
+        # row engine's sort exactly.
+        def rows():
+            for batch in execute_batches(rel.input, ctx, batch_size):
+                yield from batch.to_rows()
+
+        top = heapq.nsmallest(offset + rel.fetch, rows(),
+                              key=row_sort_key(rel.collation))
+        yield ColumnBatch.from_rows(top[offset:], rel.row_type.field_count)
+        return
     batch = _gather_input(rel.input, ctx, batch_size)
-    rows = batch.to_rows()
-    rows = sort_rows(rows, rel.collation)
-    if rel.offset:
-        rows = rows[rel.offset:]
+    rows = sort_rows(batch.to_rows(), rel.collation)
+    if offset:
+        rows = rows[offset:]
     if rel.fetch is not None:
         rows = rows[: rel.fetch]
     yield ColumnBatch.from_rows(rows, rel.row_type.field_count)
+
+
+def _limit_stream(rel: VectorizedSort, ctx: ExecutionContext,
+                  batch_size: int) -> Iterator[ColumnBatch]:
+    to_skip = rel.offset or 0
+    remaining = rel.fetch  # None = unbounded
+    if remaining is not None and remaining <= 0:
+        return
+    for batch in execute_batches(rel.input, ctx, batch_size):
+        compacted = batch.compact()
+        n = compacted.num_rows
+        if n == 0:
+            continue
+        if to_skip:
+            if n <= to_skip:
+                to_skip -= n
+                continue
+            compacted = ColumnBatch(
+                [col[to_skip:] for col in compacted.columns], n - to_skip)
+            n -= to_skip
+            to_skip = 0
+        if remaining is not None and n >= remaining:
+            yield ColumnBatch(
+                [col[:remaining] for col in compacted.columns], remaining)
+            return  # early exit: stop pulling the input
+        if remaining is not None:
+            remaining -= n
+        yield compacted
 
 
 def _values(rel: VectorizedValues) -> Iterator[ColumnBatch]:

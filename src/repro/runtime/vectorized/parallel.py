@@ -1,0 +1,282 @@
+"""The worker-pool batch scheduler: parallel partitioned execution.
+
+Gives the exchange operators of :mod:`.exchange` their multi-worker
+semantics.  A plan is cut at exchange boundaries into *fragments*;
+between two exchanges every operator is partition-local ("narrow"), so
+the scheduler runs one copy of the fragment per partition, each over
+its own ``ColumnBatch`` stream:
+
+* a :class:`~.exchange.RandomExchange` splits a stream round-robin
+  into N partitions;
+* a :class:`~.exchange.HashExchange` re-buckets every batch row-wise by
+  a hash of its key columns, so equal keys co-locate;
+* a :class:`~.exchange.BroadcastExchange` replicates batches to every
+  partition;
+* a :class:`~.exchange.SingletonExchange` gathers the partitions back
+  into one stream — concatenating as results arrive, or running an
+  ordered k-way merge when a collation must be preserved.
+
+Partition streams cross worker boundaries through bounded queues
+(backpressure keeps at most a few batches in flight per edge), and
+each exchange edge is driven by worker threads from the region's pool.
+Batches are immutable once emitted, so a broadcast batch is shared,
+not copied.  Errors propagate through the queues and cancel the whole
+region; abandoning the gather iterator (e.g. a LIMIT upstream) cancels
+it too, so no worker outlives its consumer.
+
+Worker threads parallelise across cores only on GIL-free builds;
+under the GIL the scheduler still provides the partitioned execution
+semantics (and the two-phase plans it executes) at a bounded overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue
+import threading
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from ...core.rel import RelNode
+from ..operators import ExecutionContext, row_sort_key
+from .batch import ColumnBatch
+from .exchange import (
+    BroadcastExchange,
+    Exchange,
+    HashExchange,
+    InjectedBatches,
+    RandomExchange,
+    SingletonExchange,
+)
+
+#: Maximum batches in flight per exchange edge (backpressure bound).
+QUEUE_CAP = 8
+
+#: Queue item tags.
+_BATCH, _ERROR, _EOS = 0, 1, 2
+
+#: Seconds between cancellation checks while blocked on a queue.
+_POLL = 0.05
+
+
+class Region:
+    """One parallel region: the workers feeding a single gather."""
+
+    def __init__(self) -> None:
+        self.cancel = threading.Event()
+        self.threads: List[threading.Thread] = []
+
+    def spawn(self, fn: Callable, *args) -> None:
+        t = threading.Thread(target=fn, args=args, daemon=True,
+                             name=f"repro-worker-{len(self.threads)}")
+        self.threads.append(t)
+        t.start()
+
+    def shutdown(self) -> None:
+        self.cancel.set()
+
+
+def _put(q: "queue.Queue", item, region: Region) -> bool:
+    """Cancellation-aware blocking put; False if the region was cancelled."""
+    while not region.cancel.is_set():
+        try:
+            q.put(item, timeout=_POLL)
+            return True
+        except queue.Full:
+            continue
+    return False
+
+
+def _iter_queue(q: "queue.Queue", n_producers: int,
+                region: Region) -> Iterator[ColumnBatch]:
+    """Drain a queue fed by ``n_producers`` workers, re-raising errors."""
+    done = 0
+    while done < n_producers:
+        try:
+            tag, payload = q.get(timeout=_POLL)
+        except queue.Empty:
+            if region.cancel.is_set():
+                return
+            continue
+        if tag == _EOS:
+            done += 1
+        elif tag == _ERROR:
+            raise payload
+        else:
+            yield payload
+
+
+def _finish(queues: Sequence["queue.Queue"], region: Region,
+            error: Optional[BaseException] = None) -> None:
+    for q in queues:
+        if error is not None:
+            _put(q, (_ERROR, error), region)
+        _put(q, (_EOS, None), region)
+
+
+def _drain_into(stream: Iterator[ColumnBatch],
+                queues: Sequence["queue.Queue"], region: Region) -> None:
+    """Push every batch of ``stream`` to every queue (1 queue: a plain
+    drain; N queues: a broadcast)."""
+    error: Optional[BaseException] = None
+    try:
+        for batch in stream:
+            for q in queues:
+                if not _put(q, (_BATCH, batch), region):
+                    return
+    except BaseException as e:  # propagated to consumers, not lost
+        error = e
+    finally:
+        _finish(queues, region, error)
+
+
+def _round_robin(stream: Iterator[ColumnBatch],
+                 queues: Sequence["queue.Queue"], offset: int,
+                 region: Region) -> None:
+    error: Optional[BaseException] = None
+    try:
+        i = offset  # stagger producers so partitions fill evenly
+        for batch in stream:
+            if not _put(queues[i % len(queues)], (_BATCH, batch), region):
+                return
+            i += 1
+    except BaseException as e:
+        error = e
+    finally:
+        _finish(queues, region, error)
+
+
+def _hash_split(stream: Iterator[ColumnBatch],
+                queues: Sequence["queue.Queue"], keys: Sequence[int],
+                region: Region) -> None:
+    """Re-bucket each batch row-wise by ``hash(key columns) % N``."""
+    n_out = len(queues)
+    error: Optional[BaseException] = None
+    try:
+        for batch in stream:
+            compacted = batch.compact()
+            n = compacted.num_rows
+            if n == 0:
+                continue
+            key_cols = [compacted.columns[k] for k in keys]
+            buckets: List[List[int]] = [[] for _ in range(n_out)]
+            for i in range(n):
+                h = hash(tuple(col[i] for col in key_cols))
+                buckets[h % n_out].append(i)
+            for j, sel in enumerate(buckets):
+                if not sel:
+                    continue
+                sub = ColumnBatch(
+                    [[col[i] for i in sel] for col in compacted.columns],
+                    len(sel))
+                if not _put(queues[j], (_BATCH, sub), region):
+                    return
+    except BaseException as e:
+        error = e
+    finally:
+        _finish(queues, region, error)
+
+
+def _contains_exchange(rel: RelNode) -> bool:
+    if isinstance(rel, Exchange):
+        return True
+    return any(_contains_exchange(i) for i in rel.inputs)
+
+
+def partition_streams(rel: RelNode, ctx: ExecutionContext, batch_size: int,
+                      region: Region) -> List[Iterator[ColumnBatch]]:
+    """The per-partition batch streams produced by ``rel``.
+
+    Exchange nodes fan streams out across workers; any other operator
+    is partition-local and is executed once per input partition over
+    injected streams.  A subtree with no exchange below it is a serial
+    section and contributes a single stream.
+    """
+    from .executor import execute_batches
+
+    if isinstance(rel, SingletonExchange) or not _contains_exchange(rel):
+        # A gather (or fully serial subtree) produces one stream; a
+        # nested gather runs its own region when drained.
+        return [execute_batches(rel, ctx, batch_size)]
+
+    if isinstance(rel, HashExchange):
+        child = partition_streams(rel.input, ctx, batch_size, region)
+        queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
+        for stream in child:
+            region.spawn(_hash_split, stream, queues, rel.keys, region)
+        return [_iter_queue(q, len(child), region) for q in queues]
+
+    if isinstance(rel, RandomExchange):
+        child = partition_streams(rel.input, ctx, batch_size, region)
+        queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
+        for offset, stream in enumerate(child):
+            region.spawn(_round_robin, stream, queues, offset, region)
+        return [_iter_queue(q, len(child), region) for q in queues]
+
+    if isinstance(rel, BroadcastExchange):
+        child = partition_streams(rel.input, ctx, batch_size, region)
+        queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
+        for stream in child:
+            region.spawn(_drain_into, stream, queues, region)
+        return [_iter_queue(q, len(child), region) for q in queues]
+
+    # Partition-local operator: run one copy per partition.
+    input_streams = [partition_streams(i, ctx, batch_size, region)
+                     for i in rel.inputs]
+    counts = {len(s) for s in input_streams}
+    if len(counts) != 1:
+        raise RuntimeError(
+            f"mis-partitioned plan: {rel.rel_name} inputs have "
+            f"{sorted(len(s) for s in input_streams)} partitions")
+    n = counts.pop()
+    out: List[Iterator[ColumnBatch]] = []
+    for p in range(n):
+        injected = [InjectedBatches(input_streams[k][p], rel.inputs[k].row_type)
+                    for k in range(len(rel.inputs))]
+        out.append(execute_batches(rel.copy(inputs=injected), ctx, batch_size))
+    return out
+
+
+def _rows_of(batches: Iterator[ColumnBatch]) -> Iterator[tuple]:
+    for batch in batches:
+        yield from batch.to_rows()
+
+
+def _rebatch(rows: Iterator[tuple], field_count: int,
+             batch_size: int) -> Iterator[ColumnBatch]:
+    chunk: List[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= batch_size:
+            yield ColumnBatch.from_rows(chunk, field_count)
+            chunk = []
+    if chunk:
+        yield ColumnBatch.from_rows(chunk, field_count)
+
+
+def gather_batches(exch: SingletonExchange, ctx: ExecutionContext,
+                   batch_size: int) -> Iterator[ColumnBatch]:
+    """Execute a gather: run the parallel region below ``exch`` and
+    merge its partition streams into one."""
+    region = Region()
+    try:
+        streams = partition_streams(exch.input, ctx, batch_size, region)
+        if len(streams) == 1:
+            yield from streams[0]
+            return
+        if exch.collation.field_collations:
+            # Ordered gather: each partition stream is sorted by the
+            # collation; k-way merge preserves it globally.
+            queues = [queue.Queue(QUEUE_CAP) for _ in streams]
+            for stream, q in zip(streams, queues):
+                region.spawn(_drain_into, stream, [q], region)
+            row_iters = [_rows_of(_iter_queue(q, 1, region)) for q in queues]
+            merged = heapq.merge(*row_iters, key=row_sort_key(exch.collation))
+            yield from _rebatch(merged, exch.row_type.field_count, batch_size)
+        else:
+            # Unordered gather: concatenate batches as workers finish.
+            out_q: "queue.Queue" = queue.Queue(QUEUE_CAP)
+            for stream in streams:
+                region.spawn(_drain_into, stream, [out_q], region)
+            yield from _iter_queue(out_q, len(streams), region)
+    finally:
+        region.shutdown()

@@ -170,6 +170,16 @@ CASES = [
      "SELECT productId FROM mysql.products "
      "UNION SELECT productId FROM ref.categories",
      False),
+    ("fed_right_join_group_on_probe_key", build_federated_catalog,
+     # Products 2 and 3 have no orders above 20 units, so the RIGHT
+     # join emits NULL-padded rows; grouping on the probe-side key
+     # afterwards guards the parallel axis against per-worker
+     # duplication of the NULL group.
+     "SELECT o.productId, COUNT(*) AS n FROM "
+     "(SELECT * FROM splunk.orders WHERE units > 20) o "
+     "RIGHT JOIN mysql.products p ON o.productId = p.productId "
+     "GROUP BY o.productId",
+     False),
     # -- test_paper_examples.py ----------------------------------------
     ("paper_s6_filter_into_join", build_sales_catalog,
      "SELECT products.name, COUNT(*) "
@@ -202,6 +212,7 @@ CASES = [
 
 
 _CATALOG_CACHE = {}
+_PARALLEL_CACHE = {}
 
 
 def _planners(builder):
@@ -212,6 +223,16 @@ def _planners(builder):
             Planner(FrameworkConfig(catalog)),
             Planner(FrameworkConfig(catalog, engine="vectorized")))
     return _CATALOG_CACHE[builder]
+
+
+def _parallel_planner(builder, parallelism):
+    """A parallel vectorized planner sharing the cached catalog."""
+    key = (builder, parallelism)
+    if key not in _PARALLEL_CACHE:
+        catalog = _planners(builder)[0].catalog
+        _PARALLEL_CACHE[key] = Planner(FrameworkConfig(
+            catalog, engine="vectorized", parallelism=parallelism))
+    return _PARALLEL_CACHE[key]
 
 
 @pytest.mark.parametrize(
@@ -228,6 +249,53 @@ def test_row_and_vectorized_engines_agree(builder, sql, ordered):
     else:
         assert sorted(row_result.rows, key=repr) == \
             sorted(vec_result.rows, key=repr)
+
+
+#: Worker counts for the parallel axis; 4-worker runs are additionally
+#: marked slow so quick runs stay bounded (-m "parallel and not slow").
+PARALLELISMS = [
+    pytest.param(2, id="p2"),
+    pytest.param(4, id="p4", marks=pytest.mark.slow),
+]
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+@pytest.mark.parametrize(
+    "builder,sql,ordered",
+    [pytest.param(b, sql, ordered, id=case_id)
+     for case_id, b, sql, ordered in CASES])
+def test_parallel_agrees_with_serial_and_row(builder, sql, ordered,
+                                             parallelism):
+    """The parallel axis of the differential harness: every case must
+    produce identical rows under the row engine, the serial vectorized
+    engine and the partitioned vectorized engine — exactly ordered
+    where a collation is required, as multisets otherwise."""
+    row_planner, vec_planner = _planners(builder)
+    par_planner = _parallel_planner(builder, parallelism)
+    row_result = row_planner.execute(sql)
+    vec_result = vec_planner.execute(sql)
+    par_result = par_planner.execute(sql)
+    assert row_result.columns == par_result.columns
+    if ordered:
+        assert par_result.rows == row_result.rows
+        assert par_result.rows == vec_result.rows
+    else:
+        expected = sorted(row_result.rows, key=repr)
+        assert sorted(par_result.rows, key=repr) == expected
+        assert sorted(vec_result.rows, key=repr) == expected
+
+
+@pytest.mark.parallel
+def test_parallel_plans_actually_partition():
+    """Guard against the parallel axis silently re-running the serial
+    plan: a partitionable aggregation must plan into exchanges."""
+    par = _parallel_planner(build_sales_catalog, 2)
+    plan = par.optimize(par.rel(
+        "SELECT productId, SUM(units) FROM s.sales GROUP BY productId"))
+    text = plan.explain()
+    assert "HashExchange" in text
+    assert "SingletonExchange" in text
 
 
 def test_vectorized_plans_actually_vectorize():

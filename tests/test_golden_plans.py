@@ -91,6 +91,21 @@ GOLDEN_QUERIES = [
      "SELECT p.name, SUM(sa.units) AS total FROM s.sales sa "
      "JOIN s.products p ON sa.productId = p.productId "
      "GROUP BY p.name ORDER BY total DESC"),
+    # Parallel (4-worker) variants: the snapshots document where the
+    # exchange-insertion rules place exchanges — and, just as
+    # importantly, where they do not (no distribution requirement, no
+    # exchange).
+    ("filter_into_join_parallel", "vectorized-p4",
+     "SELECT e.name, d.dname FROM hr.emps e JOIN hr.depts d "
+     "ON e.deptno = d.deptno WHERE e.sal > 6000"),
+    ("join_aggregate_order_parallel", "vectorized-p4",
+     "SELECT p.name, SUM(sa.units) AS total FROM s.sales sa "
+     "JOIN s.products p ON sa.productId = p.productId "
+     "GROUP BY p.name ORDER BY total DESC"),
+    ("global_avg_parallel", "vectorized-p4",
+     "SELECT AVG(sal), COUNT(*) FROM hr.emps"),
+    ("filter_project_parallel", "vectorized-p4",
+     "SELECT name, sal + 100 FROM hr.emps WHERE deptno = 10"),
 ]
 
 
@@ -99,8 +114,10 @@ _PLANNERS = {}
 
 def _planner(engine: str) -> Planner:
     if engine not in _PLANNERS:
-        _PLANNERS[engine] = Planner(
-            FrameworkConfig(build_catalog(), engine=engine))
+        name, _, suffix = engine.partition("-p")
+        parallelism = int(suffix) if suffix else 1
+        _PLANNERS[engine] = Planner(FrameworkConfig(
+            build_catalog(), engine=name, parallelism=parallelism))
     return _PLANNERS[engine]
 
 

@@ -51,7 +51,15 @@ class TestCollation:
 class TestDistribution:
     def test_any_satisfied_by_everything(self):
         assert RelDistribution.SINGLETON.satisfies(RelDistribution.ANY)
+        assert RelDistribution.BROADCAST.satisfies(RelDistribution.ANY)
+        assert RelDistribution.RANDOM.satisfies(RelDistribution.ANY)
+        assert RelDistribution.ANY.satisfies(RelDistribution.ANY)
         assert RelDistribution.hash([0]).satisfies(RelDistribution.ANY)
+
+    def test_any_satisfies_only_any(self):
+        assert not RelDistribution.ANY.satisfies(RelDistribution.SINGLETON)
+        assert not RelDistribution.ANY.satisfies(RelDistribution.RANDOM)
+        assert not RelDistribution.ANY.satisfies(RelDistribution.hash([0]))
 
     def test_hash_keys(self):
         h1 = RelDistribution.hash([0, 1])
@@ -59,6 +67,58 @@ class TestDistribution:
         assert h1 == h2
         assert h1.satisfies(h2)
         assert not h1.satisfies(RelDistribution.hash([1]))
+        assert not RelDistribution.hash([1]).satisfies(h1)
+
+    def test_hash_keys_canonicalised(self):
+        """Hash partitioning is insensitive to key listing order."""
+        assert RelDistribution.hash([2, 1]) == RelDistribution.hash([1, 2])
+        assert RelDistribution.hash([2, 1]).satisfies(RelDistribution.hash([1, 2]))
+        assert RelDistribution.hash([1, 2]).satisfies(RelDistribution.hash([2, 1]))
+        assert hash(RelDistribution.hash([2, 1])) == hash(RelDistribution.hash([1, 2]))
+        assert RelDistribution.hash([2, 1]).keys == (1, 2)
+
+    def test_hash_requires_keys(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RelDistribution("HASH", [])
+
+    def test_broadcast_satisfies_partitionings(self):
+        """Every worker holds all rows, so any co-location requirement
+        holds trivially."""
+        b = RelDistribution.BROADCAST
+        assert b.satisfies(RelDistribution.hash([0]))
+        assert b.satisfies(RelDistribution.hash([3, 1]))
+        assert b.satisfies(RelDistribution.RANDOM)
+        assert b.satisfies(b)
+        # ... but not SINGLETON: gathering the copies would duplicate rows.
+        assert not b.satisfies(RelDistribution.SINGLETON)
+
+    def test_hash_satisfies_random(self):
+        """Hash-partitioned rows are each on exactly one worker."""
+        assert RelDistribution.hash([0]).satisfies(RelDistribution.RANDOM)
+        assert not RelDistribution.RANDOM.satisfies(RelDistribution.hash([0]))
+
+    def test_singleton_is_not_a_spread(self):
+        """SINGLETON does not satisfy RANDOM: requiring RANDOM is a
+        request for actual parallelism."""
+        s = RelDistribution.SINGLETON
+        assert s.satisfies(s)
+        assert not s.satisfies(RelDistribution.RANDOM)
+        assert not s.satisfies(RelDistribution.hash([0]))
+        assert not s.satisfies(RelDistribution.BROADCAST)
+        assert not RelDistribution.RANDOM.satisfies(s)
+
+    def test_range_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="RANGE distribution is not"):
+            RelDistribution("RANGE", [0])
+        with pytest.raises(ValueError, match="RANGE"):
+            RelDistribution("RANGE")
+
+    def test_keys_only_valid_on_hash(self):
+        import pytest
+        with pytest.raises(ValueError):
+            RelDistribution("RANDOM", [0])
 
     def test_bad_type_rejected(self):
         import pytest

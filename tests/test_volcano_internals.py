@@ -138,3 +138,45 @@ class TestCostSelection:
             max_matches=25)
         planner.optimize(rel)
         assert planner.matches_fired <= 25
+
+
+class TestDistributionEnforcement:
+    """The distribution trait is enforced at extraction: when no
+    registered expression carries the required distribution, the
+    planner extracts the relaxed best plan and hands it to the
+    configured enforcer (which wraps it in a gather exchange)."""
+
+    def _required(self):
+        from repro.core.traits import (
+            RelCollation,
+            RelDistribution,
+            RelTraitSet,
+        )
+        return RelTraitSet(Convention.ENUMERABLE, RelCollation.EMPTY,
+                           RelDistribution.SINGLETON)
+
+    def test_enforcer_wraps_relaxed_best(self, hr_catalog):
+        from repro.core.rel import Converter
+        from repro.core.traits import RelDistribution
+        calls = []
+
+        def enforcer(plan, distribution):
+            calls.append(distribution)
+            return Converter(plan, plan.traits.replace(distribution))
+
+        planner = VolcanoPlanner(rules=enumerable_rules(),
+                                 distribution_enforcer=enforcer)
+        rel = LogicalFilter(scan(hr_catalog), cond(3, 1))
+        best = planner.optimize(rel, self._required())
+        assert calls == [RelDistribution.SINGLETON]
+        assert isinstance(best, Converter)
+        assert best.traits.distribution == RelDistribution.SINGLETON
+        # the wrapped plan is the ordinary enumerable best
+        assert "EnumerableFilter" in best.input.explain()
+
+    def test_without_enforcer_distribution_is_unplannable(self, hr_catalog):
+        from repro.core.volcano import CannotPlanError
+        planner = VolcanoPlanner(rules=enumerable_rules())
+        rel = LogicalFilter(scan(hr_catalog), cond(3, 1))
+        with pytest.raises(CannotPlanError):
+            planner.optimize(rel, self._required())
