@@ -1,0 +1,122 @@
+"""Query-server plan-cache benchmark: cached vs. cold QPS.
+
+Simulates the serving workload the Avatica layer exists for: many
+concurrent clients issuing the *same* parameterized statement against a
+shared :class:`~repro.avatica.server.QueryServer`.  The statement is a
+join + aggregate over small tables, so per-call work is dominated by
+planning (parse → validate → Hep → Volcano) — exactly the cost the
+normalized-SQL plan cache is meant to amortise.
+
+Acceptance gate: with the plan cache on, prepared-statement throughput
+must be **≥ 10x** the cold-plan throughput (same SQL, same clients,
+cache disabled).  Both paths re-bind parameters per call, so the gate
+also demonstrates that cache hits do not freeze ``?`` bindings.
+"""
+
+import threading
+import time
+
+from repro.avatica import QueryServer
+
+from conftest import make_sales_catalog, record_result
+
+N_CLIENTS = 4
+WARM_CALLS_PER_CLIENT = 50
+COLD_CALLS_PER_CLIENT = 5
+MIN_SPEEDUP = 10.0
+
+SQL = ("SELECT p.name, SUM(sa.units) AS total "
+       "FROM s.sales sa JOIN s.products p ON sa.productId = p.productId "
+       "WHERE sa.units > ? GROUP BY p.name")
+
+#: tiny tables: execution is microseconds, planning is milliseconds
+_CATALOG_ARGS = dict(n_sales=200, n_products=20)
+
+
+def _run_clients(server, calls_per_client, prepared, **planner_overrides):
+    """N threads, each executing the statement in a loop.
+
+    ``prepared=True`` uses the JDBC model (prepare once, execute many —
+    the serving fast path); ``prepared=False`` re-submits the SQL text
+    per call, which on a cacheless server re-plans every time.
+    Returns (wall seconds, total statements, one sample result).
+    """
+    barrier = threading.Barrier(N_CLIENTS + 1)
+    sample = []
+    errors = []
+
+    def client(client_id: int) -> None:
+        try:
+            conn = server.connect("bench", **planner_overrides)
+            stmt = conn.prepare(SQL) if prepared else None
+            barrier.wait()
+            for i in range(calls_per_client):
+                threshold = (client_id + i) % 10       # vary the binding
+                if prepared:
+                    rows = stmt.execute([threshold]).fetchall()
+                else:
+                    rows = conn.execute(SQL, [threshold]).fetchall()
+                if client_id == 0 and i == 0:
+                    sample.append(rows)
+            conn.close()
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(N_CLIENTS)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    return elapsed, N_CLIENTS * calls_per_client, sample[0]
+
+
+def _bench_engine(engine: str) -> None:
+    catalog = make_sales_catalog(**_CATALOG_ARGS)
+
+    cached_server = QueryServer(engine=engine)
+    cached_server.register_catalog("bench", catalog)
+    warm_s, warm_n, warm_sample = _run_clients(
+        cached_server, WARM_CALLS_PER_CLIENT, prepared=True)
+    warm_qps = warm_n / warm_s
+
+    cold_server = QueryServer(plan_cache_size=0, engine=engine)
+    cold_server.register_catalog("bench", catalog)
+    cold_s, cold_n, cold_sample = _run_clients(
+        cold_server, COLD_CALLS_PER_CLIENT, prepared=False,
+        plan_cache=False)
+    cold_qps = cold_n / cold_s
+
+    assert sorted(warm_sample) == sorted(cold_sample)  # cache is invisible
+
+    cache_stats = cached_server.stats()["plan_cache"]
+    speedup = warm_qps / cold_qps
+    record_result(
+        "server plan cache", engine,
+        parallelism=1, clients=N_CLIENTS,
+        cold_statements=cold_n, cold_qps=round(cold_qps, 1),
+        cached_statements=warm_n, cached_qps=round(warm_qps, 1),
+        speedup=f"{speedup:.1f}x",
+        cache_hits=cache_stats["hits"], cache_misses=cache_stats["misses"])
+    # One plan serves everyone; a concurrent first-prepare race may
+    # plan a handful of times, never once per statement.
+    assert cache_stats["misses"] <= N_CLIENTS
+    assert speedup >= MIN_SPEEDUP, (
+        f"[{engine}] cached QPS {warm_qps:.1f} is only {speedup:.1f}x cold "
+        f"QPS {cold_qps:.1f}; plan cache gate is {MIN_SPEEDUP}x")
+
+
+def test_cached_qps_row_engine():
+    _bench_engine("row")
+
+
+def test_cached_qps_vectorized_engine():
+    _bench_engine("vectorized")

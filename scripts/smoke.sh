@@ -39,3 +39,11 @@ python -m pytest -q -m "$PARALLEL_MARKER" \
     tests/test_engine_differential.py \
     tests/test_parallel_execution.py \
     benchmarks/bench_parallel.py
+
+# Query-server gates: plan-cache semantics (hit/invalidate/isolation,
+# cache-on/off differential), the DB-API serving layer, and the
+# cached-vs-cold QPS bench (cached must be >= 10x cold).
+python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
+    tests/test_plan_cache.py \
+    tests/test_avatica_server.py \
+    benchmarks/bench_server.py

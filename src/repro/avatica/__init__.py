@@ -1,63 +1,123 @@
-"""Avatica: the JDBC-style driver (Section 1, Table 1).
+"""Avatica reborn: the multi-tenant query server (Section 1, Table 1).
 
-Calcite "includes a driver conforming to the standard Java API
-(JDBC)"; the Python equivalent is a PEP 249 (DB-API 2.0) style
-interface: :func:`connect` → :class:`Connection` → :class:`Cursor`
-with ``execute``/``fetchone``/``fetchall`` and ``description``.
-Dynamic parameters (``?``) are bound per execution, as with JDBC
-prepared statements.
+Calcite "includes a driver conforming to the standard Java API (JDBC)";
+this package is the Python equivalent — a PEP 249 (DB-API 2.0) facade —
+rebuilt as a serving layer rather than a thin shim over the planner.
+
+Architecture
+============
+
+**Lifecycle.**  A :class:`~repro.avatica.server.QueryServer` holds the
+shared state: named tenant catalogs, the plan cache, and the admission
+semaphore.  :meth:`QueryServer.connect` (or the module-level
+:func:`connect`, which wraps a single-tenant private server) opens a
+:class:`Connection`; a connection hands out :class:`Cursor` objects and
+:class:`PreparedStatement` handles.  Closing a connection closes its
+cursors; executing on a closed cursor *or* connection raises
+:class:`ProgrammingError`.
+
+**Plan cache.**  Every statement is prepared through an LRU of physical
+plans keyed on ``(catalog token, catalog version, planning fingerprint,
+normalized SQL)`` — see :mod:`repro.avatica.cache`.  A repeated
+statement (modulo whitespace, comments and keyword case) skips
+parse/validate/Hep/Volcano entirely; a catalog mutation bumps the
+version (:attr:`repro.schema.core.Catalog.version`) and eagerly
+invalidates the superseded plans.  Dynamic parameters (``?``) are never
+baked into a plan — they are bound per execution, so one cached plan
+serves every parameter set.  ``Cursor.cache_hit`` reports whether the
+last statement reused a cached plan.
+
+**Prepared statements.**  ``Connection.prepare(sql)`` returns a
+:class:`PreparedStatement` that pins its plan (re-validating only when
+the catalog version moves) and is re-executed with
+``stmt.execute([params])`` — the JDBC prepared-statement model, and the
+fast path the 10x cached-vs-cold benchmark (``bench_server.py``)
+measures.
+
+**Paged results.**  Cursors stream: rows are pulled from the executor
+on demand (the vectorized engine yields them batch by batch), so
+``fetchone``/``fetchmany`` page through a large result without
+materialising it.  Reading ``Cursor.rowcount`` before the stream is
+exhausted drains the remainder into the cursor's buffer to produce an
+exact count (DB-API compatibility); until then it costs nothing.
+
+**Admission control.**  Each executing statement occupies one server
+slot from bind until its stream is drained or its cursor closed.  With
+``max_concurrent_statements=N`` at most N statements — and therefore at
+most N parallel worker pools — run at once; excess statements wait up
+to ``admission_timeout`` seconds, then fail with
+:class:`OperationalError`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+import weakref
 
-from ..framework import FrameworkConfig, Planner
+from ..framework import FrameworkConfig, Planner, PreparedPlan
 from ..schema.core import Catalog
+from .cache import PlanCache, PlanCacheStats, normalize_sql
+from .server import AdmissionSlot, QueryServer
 
 apilevel = "2.0"
-threadsafety = 1
+threadsafety = 2  # threads may share the module and connections
 paramstyle = "qmark"
+
+__all__ = [
+    "apilevel", "threadsafety", "paramstyle",
+    "Error", "DatabaseError", "ProgrammingError", "OperationalError",
+    "Connection", "Cursor", "PreparedStatement",
+    "QueryServer", "PlanCache", "PlanCacheStats", "normalize_sql",
+    "connect",
+]
 
 
 class Error(Exception):
     """DB-API base error."""
 
 
-class ProgrammingError(Error):
-    pass
+class DatabaseError(Error):
+    """DB-API database-side error."""
+
+
+class ProgrammingError(DatabaseError):
+    """Bad SQL, unknown names, misuse of a closed handle, bad binds."""
+
+
+class OperationalError(DatabaseError):
+    """Server-side operational failure (e.g. admission rejection)."""
 
 
 class Cursor:
-    """Executes statements and iterates result rows."""
+    """Executes statements and pages through result rows.
+
+    Results stream from the executor: ``fetchone``/``fetchmany`` pull
+    rows on demand.  ``rowcount`` is exact once the stream is exhausted
+    (or when read, which drains the remainder into the buffer).
+    """
 
     arraysize = 1
 
     def __init__(self, connection: "Connection") -> None:
         self.connection = connection
-        self._rows: List[tuple] = []
-        self._pos = 0
         self.description: Optional[List[Tuple]] = None
-        self.rowcount = -1
-        self._closed = False
         self.last_plan = None
+        #: True when the last statement's plan came from the plan cache
+        self.cache_hit = False
+        self._closed = False
+        self._stream: Optional[Iterator[tuple]] = None
+        self._slot: Optional[AdmissionSlot] = None
+        self._pending: List[tuple] = []   # pulled but not yet dispensed
+        self._pending_pos = 0
+        self._dispensed = 0               # rows already handed out
+        self._rowcount = -1               # exact total once known
+
+    # -- execution ------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
-        if self._closed:
-            raise ProgrammingError("cursor is closed")
-        try:
-            result = self.connection._planner.execute(sql, parameters)
-        except Error:
-            raise
-        except Exception as exc:
-            raise ProgrammingError(str(exc)) from exc
-        self._rows = result.rows
-        self._pos = 0
-        self.rowcount = len(result.rows)
-        self.last_plan = result.plan
-        self.description = [
-            (name, None, None, None, None, None, None) for name in result.columns
-        ]
+        self._check_open()
+        prepared, hit = self.connection._prepare(sql)
+        self._start(prepared, parameters, cache_hit=hit)
         return self
 
     def executemany(self, sql: str, seq_of_parameters) -> "Cursor":
@@ -65,34 +125,135 @@ class Cursor:
             self.execute(sql, parameters)
         return self
 
-    def fetchone(self) -> Optional[tuple]:
-        if self._pos >= len(self._rows):
+    def _start(self, prepared: PreparedPlan, parameters: Sequence[Any],
+               cache_hit: bool) -> None:
+        """Bind a prepared plan and begin streaming (admission-gated)."""
+        self._finish()
+        self._pending = []
+        self._pending_pos = 0
+        self._dispensed = 0
+        self._rowcount = -1
+        slot = self.connection._server.admit()
+        try:
+            running = self.connection._planner.bind(prepared, parameters)
+        except BaseException:
+            slot.release()
+            raise
+        self._slot = slot
+        self._stream = running.rows
+        self.cache_hit = cache_hit
+        self.last_plan = prepared.plan
+        self.description = [
+            (name, None, None, None, None, None, None)
+            for name in prepared.columns]
+
+    # -- fetching -------------------------------------------------------------
+
+    def _pull(self) -> Optional[tuple]:
+        """Next row from the buffer or the live stream; None at the end."""
+        if self._pending_pos < len(self._pending):
+            row = self._pending[self._pending_pos]
+            self._pending_pos += 1
+            self._dispensed += 1
+            return row
+        if self._stream is None:
             return None
-        row = self._rows[self._pos]
-        self._pos += 1
+        try:
+            row = next(self._stream)
+        except StopIteration:
+            self._end_of_stream()
+            return None
+        except Error:
+            self._finish()
+            raise
+        except Exception as exc:
+            self._finish()
+            raise ProgrammingError(str(exc)) from exc
+        self._dispensed += 1
         return row
 
+    def _end_of_stream(self) -> None:
+        self._rowcount = self._dispensed + (len(self._pending)
+                                            - self._pending_pos)
+        self._finish()
+
+    @property
+    def rowcount(self) -> int:
+        """Total rows of the current result set.
+
+        Exact once the stream has been drained; *reading it earlier
+        drains the remainder into the cursor's buffer* (rows stay
+        fetchable).  -1 when no statement has produced a result set.
+        """
+        if self._rowcount < 0 and self._stream is not None:
+            try:
+                while True:
+                    row = next(self._stream)
+                    self._pending.append(row)
+            except StopIteration:
+                self._end_of_stream()
+            except Error:
+                self._finish()
+                raise
+            except Exception as exc:
+                self._finish()
+                raise ProgrammingError(str(exc)) from exc
+        return self._rowcount
+
+    def fetchone(self) -> Optional[tuple]:
+        return self._pull()
+
     def fetchmany(self, size: Optional[int] = None) -> List[tuple]:
-        size = size or self.arraysize
-        out = self._rows[self._pos: self._pos + size]
-        self._pos += len(out)
+        if size is None:
+            size = self.arraysize
+        out: List[tuple] = []
+        while len(out) < size:
+            row = self._pull()
+            if row is None:
+                break
+            out.append(row)
         return out
 
     def fetchall(self) -> List[tuple]:
-        out = self._rows[self._pos:]
-        self._pos = len(self._rows)
-        return out
+        out: List[tuple] = []
+        while True:
+            row = self._pull()
+            if row is None:
+                return out
+            out.append(row)
 
     def __iter__(self):
         while True:
-            row = self.fetchone()
+            row = self._pull()
             if row is None:
                 return
             yield row
 
+    # -- lifecycle ------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProgrammingError("cursor is closed")
+        if self.connection._closed:
+            raise ProgrammingError("connection is closed")
+
+    def _finish(self) -> None:
+        """Stop the stream (cancelling any parallel workers below it)
+        and release the admission slot."""
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+        slot, self._slot = self._slot, None
+        if slot is not None:
+            slot.release()
+
     def close(self) -> None:
+        self._finish()
+        self._pending = []
+        self._pending_pos = 0
         self._closed = True
-        self._rows = []
 
     def __enter__(self) -> "Cursor":
         return self
@@ -100,22 +261,146 @@ class Cursor:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self._finish()
+        except Exception:
+            pass
+
+
+class PreparedStatement:
+    """A statement prepared once and executed many times.
+
+    Holds on to its :class:`~repro.framework.PreparedPlan` so repeat
+    executions skip even the cache lookup; the plan is re-prepared
+    (through the cache) only when the catalog version moves.
+    """
+
+    def __init__(self, connection: "Connection", sql: str) -> None:
+        self.connection = connection
+        self.sql = sql
+        self._closed = False
+        self._prepared, self._initial_hit = connection._prepare(sql)
+        self._version = connection._planner.catalog.version
+        self._executions = 0
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of ``?`` placeholders in the statement."""
+        return self._prepared.parameter_count
+
+    @property
+    def plan(self):
+        return self._prepared.plan
+
+    def execute(self, parameters: Sequence[Any] = ()) -> Cursor:
+        """Bind ``parameters`` and execute, returning a fresh cursor."""
+        if self._closed:
+            raise ProgrammingError("prepared statement is closed")
+        if self.connection._closed:
+            raise ProgrammingError("connection is closed")
+        if len(parameters) != self.parameter_count:
+            raise ProgrammingError(
+                f"statement takes {self.parameter_count} parameter(s), "
+                f"got {len(parameters)}")
+        version = self.connection._planner.catalog.version
+        if version != self._version:
+            # Catalog changed under us: re-prepare (the plan cache has
+            # already invalidated the superseded entry).
+            self._prepared, self._initial_hit = \
+                self.connection._prepare(self.sql)
+            self._version = version
+            self._executions = 0
+        reused = self._executions > 0 or self._initial_hit
+        self._executions += 1
+        cursor = self.connection.cursor()
+        cursor._start(self._prepared, parameters, cache_hit=reused)
+        return cursor
+
+    def executemany(self, seq_of_parameters) -> Cursor:
+        cursor = None
+        for parameters in seq_of_parameters:
+            cursor = self.execute(parameters)
+        if cursor is None:
+            raise ProgrammingError("executemany with no parameter sets")
+        return cursor
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "PreparedStatement":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class Connection:
-    """A connection bound to a catalog (root schema)."""
+    """A connection bound to one tenant catalog of a query server."""
 
-    def __init__(self, catalog: Catalog, **planner_options) -> None:
+    def __init__(self, catalog: Catalog,
+                 _server: Optional[QueryServer] = None,
+                 _tenant: str = "default",
+                 **planner_options: Any) -> None:
         self.catalog = catalog
-        self._planner = Planner(FrameworkConfig(catalog, **planner_options))
+        self.tenant = _tenant
+        if _server is None:
+            # Standalone DB-API use: a private single-tenant server.
+            _server = QueryServer()
+            _server.register_catalog(_tenant, catalog)
+        self._server = _server
+        config = FrameworkConfig(catalog, **planner_options)
+        if config.plan_cache and _server.plan_cache is not None:
+            shared_cache = _server.plan_cache
+        else:
+            shared_cache = None
+            if planner_options.get("plan_cache") is not True:
+                # The server runs cacheless: don't silently grow a
+                # private per-connection cache (explicit plan_cache=True
+                # opt-in still gets one).
+                config.plan_cache = False
+        self._planner = Planner(config, plan_cache=shared_cache)
         self._closed = False
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
+
+    # -- statement entry points ----------------------------------------------
 
     def cursor(self) -> Cursor:
         if self._closed:
             raise ProgrammingError("connection is closed")
-        return Cursor(self)
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> Cursor:
         return self.cursor().execute(sql, parameters)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """JDBC-style ``prepareStatement``: plan now, execute many."""
+        if self._closed:
+            raise ProgrammingError("connection is closed")
+        return PreparedStatement(self, sql)
+
+    def _prepare(self, sql: str) -> Tuple[PreparedPlan, bool]:
+        """Plan (or fetch from the cache), mapping errors to DB-API."""
+        try:
+            return self._planner._prepare(sql)
+        except Error:
+            raise
+        except Exception as exc:
+            raise ProgrammingError(str(exc)) from exc
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def server(self) -> QueryServer:
+        return self._server
+
+    def plan_cache_stats(self) -> Optional[dict]:
+        cache = self._planner.plan_cache
+        return cache.stats.snapshot() if cache is not None else None
+
+    # -- transactions (storage is non-transactional, as in Calcite) -----------
 
     def commit(self) -> None:
         """No transactional storage: commit is a no-op, as in Calcite."""
@@ -123,7 +408,11 @@ class Connection:
     def rollback(self) -> None:
         raise ProgrammingError("rollback is not supported")
 
+    # -- lifecycle ------------------------------------------------------------
+
     def close(self) -> None:
+        for cursor in list(self._cursors):
+            cursor.close()
         self._closed = True
 
     def __enter__(self) -> "Connection":
@@ -133,6 +422,24 @@ class Connection:
         self.close()
 
 
-def connect(catalog: Catalog, **planner_options) -> Connection:
-    """Open a connection over a catalog of adapter schemas."""
-    return Connection(catalog, **planner_options)
+def connect(catalog: Catalog,
+            max_concurrent_statements: Optional[int] = None,
+            admission_timeout: float = 5.0,
+            plan_cache_size: Optional[int] = None,
+            **planner_options: Any) -> Connection:
+    """Open a connection over a catalog of adapter schemas.
+
+    Convenience wrapper creating a private single-tenant
+    :class:`QueryServer`; use the server directly for multi-tenant
+    serving or to share a plan cache and admission limits across
+    connections.
+    """
+    server_kwargs: dict = {
+        "max_concurrent_statements": max_concurrent_statements,
+        "admission_timeout": admission_timeout,
+    }
+    if plan_cache_size is not None:
+        server_kwargs["plan_cache_size"] = plan_cache_size
+    server = QueryServer(**server_kwargs)
+    server.register_catalog("default", catalog)
+    return server.connect("default", **planner_options)

@@ -1,0 +1,157 @@
+"""The multi-tenant query server behind the DB-API facade.
+
+A :class:`QueryServer` owns the pieces every connection shares:
+
+* **tenants** — named catalogs registered with
+  :meth:`QueryServer.register_catalog`; each connection is opened
+  against exactly one tenant and can never see another tenant's plans
+  (the plan-cache key carries the catalog's identity token).
+* **the plan cache** — one LRU of prepared plans shared by all of a
+  server's connections, keyed on (catalog token, catalog version,
+  planning fingerprint, normalized SQL).  See
+  :mod:`repro.avatica.cache`.
+* **admission control** — a semaphore bounding how many statements
+  execute concurrently.  Each executing statement occupies one slot
+  from bind until its row stream is drained or its cursor closed, which
+  in turn bounds the worker threads the parallel vectorized scheduler
+  may spawn.  When no slot frees within ``admission_timeout`` seconds
+  the statement is rejected with
+  :class:`~repro.avatica.OperationalError` instead of queueing without
+  bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..schema.core import Catalog
+from .cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
+
+
+class AdmissionSlot:
+    """One admitted statement; release exactly once (idempotent)."""
+
+    __slots__ = ("_server", "_released")
+
+    def __init__(self, server: "QueryServer") -> None:
+        self._server = server
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._server._release()
+
+
+class QueryServer:
+    """Shared serving state: tenants, plan cache, admission control."""
+
+    def __init__(self, max_concurrent_statements: Optional[int] = None,
+                 admission_timeout: float = 5.0,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+                 **default_planner_options: Any) -> None:
+        if max_concurrent_statements is not None and max_concurrent_statements < 1:
+            raise ValueError("max_concurrent_statements must be >= 1 or None")
+        self.max_concurrent_statements = max_concurrent_statements
+        self.admission_timeout = admission_timeout
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None)
+        self.default_planner_options = default_planner_options
+        self._tenants: Dict[str, Catalog] = {}
+        self._semaphore = (threading.Semaphore(max_concurrent_statements)
+                           if max_concurrent_statements else None)
+        self._lock = threading.Lock()
+        self._active = 0
+        self._peak_active = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._connections_opened = 0
+
+    # -- tenants --------------------------------------------------------------
+
+    def register_catalog(self, name: str, catalog: Catalog) -> Catalog:
+        """Register (or replace) a tenant catalog under ``name``."""
+        with self._lock:
+            self._tenants[name] = catalog
+        return catalog
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def catalog(self, tenant: str) -> Catalog:
+        with self._lock:
+            try:
+                return self._tenants[tenant]
+            except KeyError:
+                raise KeyError(
+                    f"unknown tenant {tenant!r}; registered: "
+                    f"{sorted(self._tenants)}") from None
+
+    # -- connections ----------------------------------------------------------
+
+    def connect(self, tenant: Optional[str] = None,
+                **planner_overrides: Any) -> "Connection":
+        """Open a connection to a tenant (the only one, if unnamed)."""
+        from . import Connection
+        with self._lock:
+            if tenant is None:
+                if len(self._tenants) != 1:
+                    raise ValueError(
+                        "tenant name required: server has "
+                        f"{len(self._tenants)} registered tenants")
+                tenant = next(iter(self._tenants))
+            catalog = self._tenants.get(tenant)
+        if catalog is None:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        options = dict(self.default_planner_options)
+        options.update(planner_overrides)
+        with self._lock:
+            self._connections_opened += 1
+        return Connection(catalog, _server=self, _tenant=tenant, **options)
+
+    # -- admission control ----------------------------------------------------
+
+    def admit(self) -> AdmissionSlot:
+        """Claim an execution slot, or raise ``OperationalError``."""
+        from . import OperationalError
+        if self._semaphore is not None:
+            if not self._semaphore.acquire(timeout=self.admission_timeout):
+                with self._lock:
+                    self._rejected += 1
+                raise OperationalError(
+                    f"admission rejected: {self.max_concurrent_statements} "
+                    f"statements already executing (waited "
+                    f"{self.admission_timeout}s)")
+        with self._lock:
+            self._active += 1
+            self._admitted += 1
+            self._peak_active = max(self._peak_active, self._active)
+        return AdmissionSlot(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._active -= 1
+        if self._semaphore is not None:
+            self._semaphore.release()
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = {
+                "tenants": sorted(self._tenants),
+                "connections_opened": self._connections_opened,
+                "statements": {
+                    "active": self._active,
+                    "peak_active": self._peak_active,
+                    "admitted": self._admitted,
+                    "rejected": self._rejected,
+                    "max_concurrent": self.max_concurrent_statements,
+                },
+            }
+        out["plan_cache"] = (self.plan_cache.stats.snapshot()
+                             if self.plan_cache is not None else None)
+        return out

@@ -73,18 +73,27 @@ class FilterIntoJoinRule(RelOptRule):
         if not left_conds and not right_conds:
             return
 
+        from ..rel import LogicalJoin
+        from ..traits import Convention, RelTraitSet
+        none = RelTraitSet(Convention.NONE)
         new_left = join.left
         if left_conds:
-            new_left = LogicalFilter(join.left, compose_conjunction(left_conds))
+            new_left = LogicalFilter(
+                join.left, compose_conjunction(left_conds), none)
         new_right = join.right
         if right_conds:
-            new_right = LogicalFilter(join.right, compose_conjunction(right_conds))
-        new_join = join.copy(inputs=[new_left, new_right])
+            new_right = LogicalFilter(
+                join.right, compose_conjunction(right_conds), none)
+        # Canonical logical nodes, not ``.copy`` of the matched ones —
+        # Volcano also binds physical members here, and cloning them over
+        # freshly built logical filters would mix conventions.
+        new_join = LogicalJoin(
+            new_left, new_right, join.condition, join.join_type, none)
         rest = compose_conjunction(remaining)
         if rest is None:
             call.transform_to(new_join)
         else:
-            call.transform_to(filter_.copy(inputs=[new_join]).with_condition(rest))
+            call.transform_to(LogicalFilter(new_join, rest, none))
 
 
 class JoinConditionPushRule(RelOptRule):
@@ -114,15 +123,21 @@ class JoinConditionPushRule(RelOptRule):
                 keep.append(conjunct)
         if not left_conds and not right_conds:
             return
+        from ..rel import LogicalJoin
+        from ..traits import Convention, RelTraitSet
+        none = RelTraitSet(Convention.NONE)
         new_left = join.left
         if left_conds:
-            new_left = LogicalFilter(join.left, compose_conjunction(left_conds))
+            new_left = LogicalFilter(
+                join.left, compose_conjunction(left_conds), none)
         new_right = join.right
         if right_conds:
-            new_right = LogicalFilter(join.right, compose_conjunction(right_conds))
+            new_right = LogicalFilter(
+                join.right, compose_conjunction(right_conds), none)
         condition = compose_conjunction(keep) or rexmod.literal(True)
-        call.transform_to(
-            join.copy(inputs=[new_left, new_right]).with_condition(condition))
+        # Canonical logical join, not ``join.copy`` (convention mixing).
+        call.transform_to(LogicalJoin(
+            new_left, new_right, condition, join.join_type, none))
 
 
 class FilterProjectTransposeRule(RelOptRule):
@@ -138,11 +153,18 @@ class FilterProjectTransposeRule(RelOptRule):
         return not any(rexmod.contains_over(p) for p in project.projects)
 
     def on_match(self, call: RelOptRuleCall) -> None:
+        from ..rel import LogicalProject
+        from ..traits import Convention, RelTraitSet
         filter_, project = call.rel(0), call.rel(1)
+        none = RelTraitSet(Convention.NONE)
         mapping = {i: p for i, p in enumerate(project.projects)}
         new_condition = InputRefRemapper(mapping).apply(filter_.condition)
-        new_filter = LogicalFilter(project.input, new_condition)
-        call.transform_to(project.copy(inputs=[new_filter]))
+        new_filter = LogicalFilter(project.input, new_condition, none)
+        # Canonical logical project, not ``project.copy`` — the matched
+        # node may be one of Volcano's physical members, and cloning it
+        # over a logical filter would mix conventions.
+        call.transform_to(LogicalProject(
+            new_filter, project.projects, project.field_names, none))
 
 
 class FilterMergeRule(RelOptRule):
@@ -159,7 +181,12 @@ class FilterMergeRule(RelOptRule):
         if condition is None:
             call.transform_to(bottom.input)
             return
-        call.transform_to(type(bottom)(bottom.input, condition))
+        from ..traits import Convention, RelTraitSet
+        # ``type(bottom)`` would resurrect a physical filter class when
+        # the match bound one of Volcano's physical members; always
+        # register the canonical logical form instead.
+        call.transform_to(LogicalFilter(
+            bottom.input, condition, RelTraitSet(Convention.NONE)))
 
 
 class FilterAggregateTransposeRule(RelOptRule):
@@ -183,13 +210,19 @@ class FilterAggregateTransposeRule(RelOptRule):
                 keep.append(conjunct)
         if not pushable:
             return
-        new_input = LogicalFilter(agg.input, compose_conjunction(pushable))
-        new_agg = agg.copy(inputs=[new_input])
+        from ..rel import LogicalAggregate
+        from ..traits import Convention, RelTraitSet
+        none = RelTraitSet(Convention.NONE)
+        new_input = LogicalFilter(
+            agg.input, compose_conjunction(pushable), none)
+        # Canonical logical aggregate, not ``agg.copy`` (convention mixing).
+        new_agg = LogicalAggregate(
+            new_input, agg.group_set, agg.agg_calls, none)
         rest = compose_conjunction(keep)
         if rest is None:
             call.transform_to(new_agg)
         else:
-            call.transform_to(LogicalFilter(new_agg, rest))
+            call.transform_to(LogicalFilter(new_agg, rest, none))
 
 
 class FilterSetOpTransposeRule(RelOptRule):
@@ -200,9 +233,21 @@ class FilterSetOpTransposeRule(RelOptRule):
                          "FilterSetOpTransposeRule")
 
     def on_match(self, call: RelOptRuleCall) -> None:
+        from ..rel import Intersect, LogicalIntersect, LogicalMinus, LogicalUnion
+        from ..traits import Convention, RelTraitSet
         filter_, setop = call.rel(0), call.rel(1)
-        new_inputs = [LogicalFilter(i, filter_.condition) for i in setop.inputs]
-        call.transform_to(setop.copy(inputs=new_inputs))
+        none = RelTraitSet(Convention.NONE)
+        new_inputs = [LogicalFilter(i, filter_.condition, none)
+                      for i in setop.inputs]
+        # Canonical logical set-op, not ``setop.copy`` (see
+        # ProjectSetOpTransposeRule for the convention-mixing rationale).
+        if isinstance(setop, Union):
+            logical_cls = LogicalUnion
+        elif isinstance(setop, Intersect):
+            logical_cls = LogicalIntersect
+        else:
+            logical_cls = LogicalMinus
+        call.transform_to(logical_cls(new_inputs, setop.all, none))
 
 
 class FilterSortTransposeRule(RelOptRule):
@@ -217,9 +262,16 @@ class FilterSortTransposeRule(RelOptRule):
         return sort.offset is None and sort.fetch is None
 
     def on_match(self, call: RelOptRuleCall) -> None:
+        from ..rel import LogicalSort
+        from ..traits import Convention, RelTraitSet
         filter_, sort = call.rel(0), call.rel(1)
-        new_filter = LogicalFilter(sort.input, filter_.condition)
-        call.transform_to(sort.copy(inputs=[new_filter]))
+        none = RelTraitSet(Convention.NONE)
+        new_filter = LogicalFilter(sort.input, filter_.condition, none)
+        # Canonical logical sort, not ``sort.copy`` — cloning a physical
+        # member over a logical filter would mix conventions.
+        call.transform_to(LogicalSort(
+            new_filter, sort.collation, sort.offset, sort.fetch,
+            RelTraitSet(Convention.NONE, sort.collation)))
 
 
 class FilterSimplifyRule(RelOptRule):

@@ -82,18 +82,21 @@ class ProjectFilterTransposeRule(RelOptRule):
         needed |= input_refs_used(filter_.condition)
         if len(needed) >= filter_.input.row_type.field_count:
             return  # nothing to trim
+        from ..rel import LogicalFilter
+        from ..traits import Convention, RelTraitSet
+        none = RelTraitSet(Convention.NONE)
         ordered = sorted(needed)
         mapping = {old: new for new, old in enumerate(ordered)}
         in_fields = filter_.input.row_type.fields
         trim = LogicalProject(
             filter_.input,
             [RexInputRef(i, in_fields[i].type) for i in ordered],
-            [in_fields[i].name for i in ordered])
+            [in_fields[i].name for i in ordered], none)
         remapper = InputRefRemapper(mapping)
-        new_filter = Filter(trim, remapper.apply(filter_.condition))
+        new_filter = LogicalFilter(trim, remapper.apply(filter_.condition), none)
         new_projects = [remapper.apply(p) for p in project.projects]
         call.transform_to(
-            LogicalProject(new_filter, new_projects, project.field_names))
+            LogicalProject(new_filter, new_projects, project.field_names, none))
 
 
 class ProjectJoinTransposeRule(RelOptRule):
@@ -161,14 +164,28 @@ class ProjectSetOpTransposeRule(RelOptRule):
         return call.rel(0).permutation() is not None
 
     def on_match(self, call: RelOptRuleCall) -> None:
+        from ..rel import (Intersect, LogicalIntersect, LogicalMinus,
+                           LogicalUnion, Union)
+        from ..traits import Convention, RelTraitSet
+        none = RelTraitSet(Convention.NONE)
         project, setop = call.rel(0), call.rel(1)
         new_inputs = []
         for branch in setop.inputs:
             fields = branch.row_type.fields
             exprs = [RexInputRef(p.index, fields[p.index].type)
                      for p in project.projects]  # type: ignore[union-attr]
-            new_inputs.append(LogicalProject(branch, exprs, project.field_names))
-        call.transform_to(setop.copy(inputs=new_inputs))
+            new_inputs.append(
+                LogicalProject(branch, exprs, project.field_names, none))
+        # Canonical logical set-op, not ``setop.copy`` — the matched node
+        # may be one of Volcano's physical members, and cloning it over
+        # logical projects would mix conventions.
+        if isinstance(setop, Union):
+            logical_cls = LogicalUnion
+        elif isinstance(setop, Intersect):
+            logical_cls = LogicalIntersect
+        else:
+            logical_cls = LogicalMinus
+        call.transform_to(logical_cls(new_inputs, setop.all, none))
 
 
 class ProjectSortTransposeRule(RelOptRule):
@@ -188,17 +205,28 @@ class ProjectSortTransposeRule(RelOptRule):
         return all(k in kept for k in sort.collation.keys)
 
     def on_match(self, call: RelOptRuleCall) -> None:
-        from ..traits import RelCollation, RelFieldCollation
+        from ..rel import LogicalSort
+        from ..traits import (Convention, RelCollation, RelFieldCollation,
+                              RelTraitSet)
         project, sort = call.rel(0), call.rel(1)
         perm = project.permutation()
         assert perm is not None
         inverse = {old: new for new, old in perm.items()}
-        new_project = LogicalProject(sort.input, project.projects, project.field_names)
+        # Register the canonical *logical* forms and let converter rules
+        # derive physical variants (cf. SortProjectTransposeRule):
+        # rebuilding with ``type(sort)`` also fired on Volcano's physical
+        # members and emitted convention-mixed trees — e.g. a
+        # VectorizedSort over a LogicalProject — that executed through
+        # the row fallback, bypassing the physical implementations.
+        new_project = LogicalProject(
+            sort.input, project.projects, project.field_names,
+            RelTraitSet(Convention.NONE))
         new_collation = RelCollation([
             RelFieldCollation(inverse[fc.field_index], fc.descending, fc.nulls_first)
             for fc in sort.collation.field_collations])
-        call.transform_to(
-            type(sort)(new_project, new_collation, sort.offset, sort.fetch))
+        call.transform_to(LogicalSort(
+            new_project, new_collation, sort.offset, sort.fetch,
+            RelTraitSet(Convention.NONE, new_collation)))
 
 
 class ProjectSimplifyRule(RelOptRule):

@@ -65,17 +65,25 @@ class SortMergeRule(RelOptRule):
         super().__init__(operand(Sort, any_operand(Sort)), "SortMergeRule")
 
     def on_match(self, call: RelOptRuleCall) -> None:
+        from ..rel import LogicalSort
+        from ..traits import Convention, RelTraitSet
         top, bottom = call.rel(0), call.rel(1)
+        # Emit canonical *logical* sorts and let converter rules derive
+        # physical variants: ``top.copy``/``type(bottom)(...)`` also
+        # fired on Volcano's physical members and rebuilt them over
+        # inputs of another convention (the transpose-audit bug class).
         if top.collation.field_collations:
             # outer re-sorts; inner order is irrelevant unless it limits
             if bottom.offset is None and bottom.fetch is None:
-                call.transform_to(top.copy(inputs=[bottom.input]))
+                call.transform_to(LogicalSort(
+                    bottom.input, top.collation, top.offset, top.fetch,
+                    RelTraitSet(Convention.NONE, top.collation)))
             return
         # outer is a pure limit over a sort: fuse into the sort
         if top.offset is None and top.fetch is not None and bottom.fetch is None:
-            call.transform_to(
-                type(bottom)(bottom.input, bottom.collation,
-                             bottom.offset, top.fetch))
+            call.transform_to(LogicalSort(
+                bottom.input, bottom.collation, bottom.offset, top.fetch,
+                RelTraitSet(Convention.NONE, bottom.collation)))
 
 
 class SortProjectTransposeRule(RelOptRule):

@@ -41,7 +41,7 @@ exactly the serial vectorized path, plan and all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from .core.hep import HepMatchOrder, HepPlanner, HepProgram
 from .core.metadata import MetadataProvider, RelMetadataQuery
@@ -97,12 +97,40 @@ class FrameworkConfig:
     use_materializations: bool = True
     #: enable lattice-based rewriting
     use_lattices: bool = True
+    #: reuse physical plans across executions of the same statement.
+    #: SQL strings handed to :meth:`Planner.execute`/:meth:`Planner.prepare`
+    #: are normalized (whitespace/comment/keyword-case insensitive) and
+    #: looked up in an LRU keyed on (catalog identity, catalog version,
+    #: planning fingerprint, normalized SQL); a hit skips
+    #: parse/validate/Hep/Volcano entirely.  Dynamic parameters are bound
+    #: per execution, never baked into the plan, so a cached plan is safe
+    #: to re-execute with new parameter values.  Disable with
+    #: ``plan_cache=False`` (e.g. for planner benchmarking).
+    plan_cache: bool = True
+    #: number of plans the LRU retains (per planner, or per server tenant
+    #: when the Avatica server shares one cache across connections)
+    plan_cache_size: int = 128
 
 
 class Planner:
-    """End-to-end planning pipeline over a catalog."""
+    """End-to-end planning pipeline over a catalog.
 
-    def __init__(self, config: FrameworkConfig) -> None:
+    ``Planner.execute(sql, params)`` is split into two halves with a
+    reuse boundary between them:
+
+    * :meth:`prepare` — parse → validate → Hep → Volcano, producing a
+      parameter-independent :class:`PreparedPlan`.  This half is
+      cacheable and, with ``config.plan_cache`` on, is served from an
+      LRU keyed on normalized SQL + catalog version.
+    * :meth:`bind` / :meth:`execute_plan` — per-call parameter binding
+      and execution.  :meth:`bind` returns a streaming
+      :class:`RunningStatement` (rows are pulled on demand — the
+      Avatica cursor pages through it); :meth:`execute_plan` drains it
+      into an eager :class:`Result`.
+    """
+
+    def __init__(self, config: FrameworkConfig,
+                 plan_cache: Optional[Any] = None) -> None:
         if config.engine not in ("row", "vectorized"):
             raise ValueError(
                 f"unknown engine {config.engine!r}; expected 'row' or 'vectorized'")
@@ -117,6 +145,12 @@ class Planner:
         self.catalog = config.catalog
         self.converter = SqlToRelConverter(self.catalog)
         self.last_volcano: Optional[VolcanoPlanner] = None
+        if plan_cache is None and config.plan_cache and config.plan_cache_size > 0:
+            from .avatica.cache import PlanCache
+            plan_cache = PlanCache(config.plan_cache_size)
+        #: the (possibly shared) plan cache; None when caching is off
+        self.plan_cache = plan_cache
+        self._seen_catalog_version = self.catalog.version
 
     # -- stage 1: parse ---------------------------------------------------
     def parse(self, sql: str):
@@ -223,27 +257,156 @@ class Planner:
         return RelMetadataQuery(self.config.metadata_providers,
                                 caching=self.config.metadata_caching)
 
-    # -- stage 4: execute ----------------------------------------------------------
+    # -- stage 4: prepare (cacheable) -----------------------------------------
+    def _planning_fingerprint(self) -> Tuple:
+        """Everything in the config that can change the chosen plan."""
+        c = self.config
+        return (c.engine, c.parallelism, c.broadcast_join_threshold,
+                c.join_reorder, c.exhaustive, c.delta, c.patience,
+                c.use_materializations, c.use_lattices,
+                tuple(id(r) for r in c.rules),
+                tuple(id(p) for p in c.metadata_providers))
+
+    def cache_key(self, sql: str) -> Tuple:
+        """The plan-cache key for a statement: catalog identity +
+        catalog version + planning fingerprint + normalized SQL."""
+        from .avatica.cache import normalize_sql
+        return (self.catalog.token, self.catalog.version,
+                self._planning_fingerprint(), normalize_sql(sql))
+
+    def prepare(self, sql: str) -> "PreparedPlan":
+        """Produce (or fetch from cache) the physical plan for ``sql``.
+
+        The result is parameter-independent: dynamic parameters stay
+        :class:`RexDynamicParam` placeholders in the plan and are bound
+        per execution by :meth:`bind`.
+        """
+        return self._prepare(sql)[0]
+
+    def _prepare(self, sql: str) -> Tuple["PreparedPlan", bool]:
+        """Like :meth:`prepare`, also reporting whether the cache hit."""
+        cache = self.plan_cache
+        if cache is None:
+            return self._plan(sql, key=None), False
+        version = self.catalog.version
+        if version != self._seen_catalog_version:
+            # Catalog changed: eagerly drop superseded plans so they do
+            # not squat in the LRU until evicted.
+            cache.invalidate_catalog(self.catalog.token, version)
+            self._seen_catalog_version = version
+        key = self.cache_key(sql)
+        prepared = cache.get(key)
+        if prepared is not None:
+            return prepared, True
+        prepared = self._plan(sql, key)
+        cache.put(key, prepared)
+        return prepared, False
+
+    def _plan(self, sql: str, key: Optional[Tuple]) -> "PreparedPlan":
+        from .sql.lexer import SqlLexError, tokenize
+        logical = self.rel(sql)
+        physical = self.optimize(logical)
+        try:
+            n_params = sum(1 for t in tokenize(sql)
+                           if t.kind == "OP" and t.value == "?")
+        except SqlLexError:  # pragma: no cover - rel() would have raised
+            n_params = 0
+        return PreparedPlan(sql, physical,
+                            list(physical.row_type.field_names),
+                            parameter_count=n_params, key=key)
+
+    # -- stage 5: bind + execute ----------------------------------------------
+    def bind(self, prepared: "PreparedPlan",
+             parameters: Sequence[Any] = ()) -> "RunningStatement":
+        """Bind parameters and start executing a prepared plan.
+
+        Rows stream on demand from the executor (the vectorized engine
+        yields them batch by batch), so a consumer paging with
+        ``fetchmany`` never materialises the full result.
+        """
+        ctx = ExecutionContext(parameters)
+        prepared.executions += 1
+        return RunningStatement(prepared, ctx, execute(prepared.plan, ctx))
+
+    def execute_plan(self, prepared: "PreparedPlan",
+                     parameters: Sequence[Any] = (),
+                     cache_hit: bool = False) -> "Result":
+        """Bind + execute eagerly, draining every row into a Result."""
+        running = self.bind(prepared, parameters)
+        rows = list(running.rows)
+        return Result(rows, prepared.columns, prepared.plan, running.context,
+                      cache_hit=cache_hit,
+                      plan_cache_stats=(self.plan_cache.stats.snapshot()
+                                        if self.plan_cache else None))
+
     def execute(self, rel_or_sql, parameters: Sequence[Any] = ()) -> "Result":
         if isinstance(rel_or_sql, str):
-            logical = self.rel(rel_or_sql)
-        else:
-            logical = rel_or_sql
-        physical = self.optimize(logical)
+            prepared, hit = self._prepare(rel_or_sql)
+            return self.execute_plan(prepared, parameters, cache_hit=hit)
+        physical = self.optimize(rel_or_sql)
         ctx = ExecutionContext(parameters)
         rows = list(execute(physical, ctx))
         return Result(rows, list(physical.row_type.field_names), physical, ctx)
+
+
+class PreparedPlan:
+    """A cacheable, parameter-independent physical plan.
+
+    Produced by :meth:`Planner.prepare`; executed any number of times
+    via :meth:`Planner.bind`/:meth:`Planner.execute_plan`, each time
+    with fresh parameter values.
+    """
+
+    def __init__(self, sql: str, plan: RelNode, columns: List[str],
+                 parameter_count: int = 0, key: Optional[Tuple] = None) -> None:
+        self.sql = sql
+        self.plan = plan
+        self.columns = columns
+        #: number of ``?`` placeholders in the statement text
+        self.parameter_count = parameter_count
+        #: the plan-cache key this plan was stored under (None: uncached)
+        self.key = key
+        #: times this plan has been bound for execution
+        self.executions = 0
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedPlan({self.sql!r}, executions={self.executions})"
+
+
+class RunningStatement:
+    """One in-flight execution: a bound context plus a row stream."""
+
+    def __init__(self, prepared: PreparedPlan, context: ExecutionContext,
+                 rows: Iterator[tuple]) -> None:
+        self.prepared = prepared
+        self.context = context
+        #: lazily-evaluated row iterator (pull to execute)
+        self.rows = rows
+        self.columns = prepared.columns
+        self.plan = prepared.plan
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.rows
 
 
 class Result:
     """Rows plus plan/statistics from one executed statement."""
 
     def __init__(self, rows: List[tuple], columns: List[str],
-                 plan: RelNode, context: ExecutionContext) -> None:
+                 plan: RelNode, context: ExecutionContext,
+                 cache_hit: bool = False,
+                 plan_cache_stats: Optional[dict] = None) -> None:
         self.rows = rows
         self.columns = columns
         self.plan = plan
         self.context = context
+        #: True when the plan came from the plan cache (planning skipped)
+        self.cache_hit = cache_hit
+        #: snapshot of the serving cache's counters, if one was in play
+        self.plan_cache_stats = plan_cache_stats
 
     def __iter__(self):
         return iter(self.rows)

@@ -17,6 +17,17 @@ Literals and dynamic parameters compile to :class:`Scalar` values that
 never materialise a column; binary kernels specialise on the
 scalar/column shape of each operand.
 
+Compiled closures are **late bound**: a dynamic parameter (``?``)
+compiles to a lookup into the executing frame's
+``ctx.parameters``, never to the value that happened to be bound at
+compile time.  This is the invariant that makes plan reuse safe — the
+server's plan cache hands the *same* optimized plan (and therefore the
+same rex trees) to every execution of a prepared statement, and each
+execution must see its own parameter values.  Because compilation is
+pure, its result is memoised on the rex node itself
+(``_compiled_columnar``), so repeat executions of a cached plan skip
+the tree walk entirely.
+
 Exact agreement includes *evaluation* behaviour, not just values: the
 row interpreter short-circuits AND/OR per row and evaluates CASE
 branches and COALESCE operands only where earlier alternatives did not
@@ -106,7 +117,21 @@ def as_column(vec: Vector, n: int) -> list:
 
 
 def compile_rex(node: RexNode) -> CompiledExpr:
-    """Compile a rex tree into a batch-at-a-time evaluator."""
+    """Compile a rex tree into a batch-at-a-time evaluator.
+
+    Compilation is memoised per node: the closure depends only on the
+    (immutable) rex tree, with parameter values looked up from the
+    frame at evaluation time, so one compiled form serves every
+    execution of a cached plan.
+    """
+    compiled = getattr(node, "_compiled_columnar", None)
+    if compiled is None:
+        compiled = _compile_rex(node)
+        node._compiled_columnar = compiled
+    return compiled
+
+
+def _compile_rex(node: RexNode) -> CompiledExpr:
     if isinstance(node, RexLiteral):
         constant = Scalar(node.value)
         return lambda frame: constant

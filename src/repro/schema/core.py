@@ -11,6 +11,7 @@ This module holds the engine-independent pieces; adapters subclass
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.rel import RelOptTable
@@ -103,17 +104,37 @@ class Schema:
         self.materializations: List[Any] = []
         #: lattices (Section 6) declared over this schema's star tables
         self.lattices: List[Any] = []
+        #: bumped on every structural mutation (see :meth:`schema_version`)
+        self._mutations = 0
 
     def add_table(self, table: Table) -> Table:
         self.tables[table.name.upper()] = table
+        self._mutations += 1
         return table
 
     def add_subschema(self, schema: "Schema") -> "Schema":
         self.subschemas[schema.name.upper()] = schema
+        self._mutations += 1
         return schema
 
     def add_rule(self, rule: Any) -> None:
         self.rules.append(rule)
+        self._mutations += 1
+
+    def schema_version(self) -> int:
+        """A monotonically increasing structural version of this subtree.
+
+        Counts explicit mutations plus the registered materializations,
+        lattices and rules (which are commonly appended to directly),
+        recursively over sub-schemas.  Plan caches compare versions to
+        decide whether a cached plan may still be valid: any growth of
+        the schema tree changes the version.
+        """
+        v = (self._mutations + len(self.materializations)
+             + len(self.lattices) + len(self.rules))
+        for sub in self.subschemas.values():
+            v += sub.schema_version()
+        return v
 
     def table(self, name: str) -> Optional[Table]:
         return self.tables.get(name.upper())
@@ -140,6 +161,12 @@ class Schema:
         return out
 
 
+#: Process-wide identity tokens for catalogs (plan-cache keys must not
+#: alias two different catalogs, even if one is garbage-collected and
+#: another reuses its memory address).
+_CATALOG_TOKENS = itertools.count()
+
+
 class Catalog:
     """Root of the schema tree; resolves names to optimizer tables."""
 
@@ -148,6 +175,32 @@ class Catalog:
         self._opt_tables: Dict[int, RelOptTable] = {}
         #: schema search path for unqualified names
         self.default_path: List[str] = []
+        #: stable identity for cache keys (never reused within a process)
+        self.token = next(_CATALOG_TOKENS)
+        self._explicit_version = 0
+
+    @property
+    def version(self) -> Tuple[int, int, Tuple[str, ...]]:
+        """The catalog version a cached plan was built against.
+
+        Combines the explicit invalidation counter (:meth:`invalidate`),
+        the structural version of the schema tree, and the name search
+        path (which changes how unqualified names resolve).  Plan caches
+        key on this: any DDL-ish change — new table, schema, rule,
+        materialization, lattice — yields a different version, so stale
+        plans can never be served.
+        """
+        return (self._explicit_version, self.root.schema_version(),
+                tuple(self.default_path))
+
+    def invalidate(self) -> None:
+        """Explicitly bump the catalog version.
+
+        For mutations the structural version cannot see (e.g. a
+        ``Table`` object changed in place): every plan cached against
+        the old version stops matching immediately.
+        """
+        self._explicit_version += 1
 
     def add_schema(self, schema: Schema) -> Schema:
         return self.root.add_subschema(schema)

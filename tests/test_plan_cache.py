@@ -1,0 +1,204 @@
+"""Plan-cache semantics: normalization, LRU behaviour, invalidation,
+isolation, and a cache-on/off differential over the cross-engine suite.
+
+The cache must be *invisible* except for speed: a cached plan bound to
+new parameters returns exactly what cold planning would, a catalog
+mutation must never serve a stale plan, and two catalogs (tenants) must
+never see each other's plans even when they share one LRU.
+"""
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.avatica.cache import PlanCache, normalize_sql
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+
+from tests.test_engine_differential import CASES
+
+
+# -- SQL normalization --------------------------------------------------------
+
+
+def test_normalize_erases_whitespace_and_keyword_case():
+    variants = [
+        "SELECT name FROM hr.emps WHERE sal > 7000",
+        "select name from hr.emps where sal > 7000",
+        "SELECT   name\n  FROM hr.emps\n  WHERE sal > 7000",
+        "SELECT name FROM hr.emps -- the big earners\nWHERE sal > 7000",
+    ]
+    canon = normalize_sql(variants[0])
+    for v in variants[1:]:
+        assert normalize_sql(v) == canon
+
+
+def test_normalize_preserves_semantics_bearing_text():
+    # String literal contents are case- and space-significant.
+    assert normalize_sql("SELECT 'a b'") != normalize_sql("SELECT 'A B'")
+    assert normalize_sql("SELECT 'a  b'") != normalize_sql("SELECT 'a b'")
+    # Identifier case is visible in result column names.
+    assert normalize_sql("SELECT name FROM t") != \
+        normalize_sql("SELECT NAME FROM t")
+
+
+def test_normalize_falls_back_on_unlexable_input():
+    assert normalize_sql("  SELECT 'unterminated  ") == "SELECT 'unterminated"
+
+
+# -- LRU mechanics ------------------------------------------------------------
+
+
+def test_lru_evicts_least_recently_used():
+    cache = PlanCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1       # refresh a
+    cache.put("c", 3)                # evicts b, not a
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.stats.evictions == 1
+
+
+def test_stats_track_hits_and_misses():
+    cache = PlanCache(4)
+    assert cache.get("missing") is None
+    cache.put("k", "plan")
+    assert cache.get("k") == "plan"
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+# -- planner integration ------------------------------------------------------
+
+
+def _planner(catalog, **kw):
+    return Planner(FrameworkConfig(catalog, **kw))
+
+
+def test_repeat_statement_hits_cache(hr_catalog):
+    planner = _planner(hr_catalog)
+    sql = "SELECT name FROM hr.emps WHERE sal > 9000"
+    cold = planner.execute(sql)
+    assert not cold.cache_hit
+    warm = planner.execute("select   name from hr.emps WHERE sal > 9000")
+    assert warm.cache_hit
+    assert sorted(cold.rows) == sorted(warm.rows)
+    assert warm.plan_cache_stats["hits"] == 1
+
+
+def test_different_statements_do_not_collide(hr_catalog):
+    planner = _planner(hr_catalog)
+    a = planner.execute("SELECT name FROM hr.emps WHERE sal > 9000")
+    b = planner.execute("SELECT name FROM hr.emps WHERE sal > 7500")
+    assert not a.cache_hit and not b.cache_hit
+    assert sorted(b.rows) == [("Bill",), ("Eric",), ("Theodore",)]
+
+
+def test_catalog_mutation_invalidates(hr_catalog):
+    planner = _planner(hr_catalog)
+    sql = "SELECT COUNT(*) FROM hr.emps"
+    planner.execute(sql)
+    assert planner.execute(sql).cache_hit
+    hr = hr_catalog.resolve_schema(["hr"])
+    hr.add_table(MemoryTable(
+        "bonus", ["empid", "amount"], [F.integer(False), F.integer()],
+        [(100, 50)]))
+    post = planner.execute(sql)
+    assert not post.cache_hit          # version moved: stale plan dropped
+    assert post.rows == [(5,)]
+    assert post.plan_cache_stats["invalidations"] >= 1
+    assert planner.execute(sql).cache_hit   # re-cached under new version
+
+
+def test_explicit_invalidate(hr_catalog):
+    planner = _planner(hr_catalog)
+    sql = "SELECT COUNT(*) FROM hr.depts"
+    planner.execute(sql)
+    hr_catalog.invalidate()
+    assert not planner.execute(sql).cache_hit
+
+
+def test_no_cross_catalog_leakage():
+    """Same SQL, same-shaped schemas, one shared LRU: each catalog must
+    plan (and answer) against its own tables."""
+    def build(rows):
+        catalog = Catalog()
+        s = Schema("s")
+        catalog.add_schema(s)
+        s.add_table(MemoryTable(
+            "t", ["id"], [F.integer(False)], rows))
+        return catalog
+
+    shared = PlanCache(16)
+    p1 = Planner(FrameworkConfig(build([(1,), (2,)])), plan_cache=shared)
+    p2 = Planner(FrameworkConfig(build([(7,)])), plan_cache=shared)
+    sql = "SELECT id FROM s.t"
+    r1 = p1.execute(sql)
+    r2 = p2.execute(sql)
+    assert not r1.cache_hit and not r2.cache_hit   # no false sharing
+    assert sorted(r1.rows) == [(1,), (2,)]
+    assert r2.rows == [(7,)]
+    assert len(shared) == 2
+    # And repeats still hit within each catalog.
+    assert p1.execute(sql).cache_hit and p2.execute(sql).cache_hit
+
+
+def test_planning_fingerprint_separates_configs(hr_catalog):
+    """One shared cache, two engines: a row plan must never be served
+    to the vectorized planner (the fingerprint is part of the key)."""
+    shared = PlanCache(16)
+    row = Planner(FrameworkConfig(hr_catalog, engine="row"),
+                  plan_cache=shared)
+    vec = Planner(FrameworkConfig(hr_catalog, engine="vectorized"),
+                  plan_cache=shared)
+    sql = "SELECT name FROM hr.emps WHERE deptno = 10"
+    assert not row.execute(sql).cache_hit
+    assert not vec.execute(sql).cache_hit
+    assert len(shared) == 2
+    assert sorted(row.execute(sql).rows) == sorted(vec.execute(sql).rows)
+
+
+def test_cache_disabled_never_reports_hits(hr_catalog):
+    planner = _planner(hr_catalog, plan_cache=False)
+    sql = "SELECT name FROM hr.emps"
+    assert planner.plan_cache is None
+    assert not planner.execute(sql).cache_hit
+    assert not planner.execute(sql).cache_hit
+
+
+# -- cache-on/off differential ------------------------------------------------
+
+_CATALOGS = {}
+
+
+def _case_planners(builder, engine):
+    """(cached planner, uncached planner) over one shared catalog."""
+    key = (builder, engine)
+    if key not in _CATALOGS:
+        catalog = builder()
+        _CATALOGS[key] = (
+            Planner(FrameworkConfig(catalog, engine=engine)),
+            Planner(FrameworkConfig(catalog, engine=engine,
+                                    plan_cache=False)))
+    return _CATALOGS[key]
+
+
+@pytest.mark.parametrize("engine", ["row", "vectorized"])
+@pytest.mark.parametrize(
+    "case_id,builder,sql,ordered",
+    [pytest.param(*c, id=c[0]) for c in CASES])
+def test_cached_plans_match_uncached(case_id, builder, sql, ordered, engine):
+    """Executing through the cache — including the warm second run —
+    must be indistinguishable from planning cold every time."""
+    cached, uncached = _case_planners(builder, engine)
+    baseline = uncached.execute(sql).rows
+    cold = cached.execute(sql)
+    warm = cached.execute(sql)
+    assert warm.cache_hit
+    if not ordered:
+        baseline = sorted(baseline, key=repr)
+        assert sorted(cold.rows, key=repr) == baseline
+        assert sorted(warm.rows, key=repr) == baseline
+    else:
+        assert cold.rows == baseline
+        assert warm.rows == baseline
