@@ -40,6 +40,15 @@ python -m pytest -q -m "$PARALLEL_MARKER" \
     tests/test_parallel_execution.py \
     benchmarks/bench_parallel.py
 
+# Federated-parallel gates: partition-pushdown scans across adapters —
+# the partitioned federated join must shuffle strictly fewer rows than
+# the gather-then-shard baseline (the wall-clock win is hardware-gated
+# inside the bench), and the multi-adapter differential tests must
+# agree with the serial engines at every parallelism.
+python -m pytest -q -m "$PARALLEL_MARKER" \
+    tests/test_federated_parallel.py \
+    benchmarks/bench_federated.py
+
 # Query-server gates: plan-cache semantics (hit/invalidate/isolation,
 # cache-on/off differential), the DB-API serving layer, and the
 # cached-vs-cold QPS bench (cached must be >= 10x cold).

@@ -28,7 +28,8 @@ Quick start::
 from .avatica import Connection, Cursor, connect
 from .core.builder import RelBuilder
 from .framework import FrameworkConfig, Planner, Result, planner_for
-from .schema.core import Catalog, MemoryTable, Schema, Statistic, Table, ViewTable
+from .adapters.memory import MemoryTable
+from .schema.core import Catalog, Schema, Statistic, Table, ViewTable
 
 __version__ = "0.1.0"
 

@@ -1,1 +1,25 @@
-"""Adapters over (simulated) heterogeneous backends (Section 5, Table 2)."""
+"""Adapters over (simulated) heterogeneous backends (Section 5, Table 2).
+
+Every backend declares what its scans can do through one
+:class:`~repro.adapters.capability.ScanCapabilities` — predicate
+pushdown (and which operators push) plus partitioned scans (serving one
+``MOD(HASH(keys), n) = i`` shard server-side).  See
+:mod:`repro.adapters.capability` for the interface and the shared
+filter-decomposition helper the per-backend push rules build on.
+"""
+
+from .capability import (
+    SCAN_ONLY,
+    Comparison,
+    ScanCapabilities,
+    partition_of,
+    split_comparisons,
+)
+
+__all__ = [
+    "SCAN_ONLY",
+    "Comparison",
+    "ScanCapabilities",
+    "partition_of",
+    "split_comparisons",
+]

@@ -20,24 +20,27 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ...core.cost import RelOptCost
 from ...core.rel import Filter, LogicalTableScan, RelNode, Sort
-from ...core.rex import (
-    COMPARISON_KINDS,
-    RexCall,
-    RexInputRef,
-    RexLiteral,
-    RexNode,
-    SqlKind,
-    decompose_conjunction,
-)
+from ...core.rex import RexNode, SqlKind
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelCollation, RelFieldCollation, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
 from ...schema.core import Schema, Statistic, Table
+from ..capability import ScanCapabilities, split_comparisons
 from .store import CassandraStore, CassandraTableDef
 
 _F = DEFAULT_TYPE_FACTORY
 
 CASSANDRA = Convention("cassandra")
+
+#: partition-key filters, clustering sorts and limits render into CQL;
+#: partitioned scans use the generic client-side hash-mod fallback
+#: (rows are plain tuples), not a server-side token-range split.
+_CASSANDRA_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    supports_partitioned_scan=True,
+    partition_scheme="hash-mod",
+    pushable_ops=frozenset({"filter", "sort", "limit"}),
+)
 
 
 class CassandraTable(Table):
@@ -54,6 +57,9 @@ class CassandraTable(Table):
             for row in partition:
                 self.store.rows_read += 1
                 yield row
+
+    def capabilities(self) -> ScanCapabilities:
+        return _CASSANDRA_CAPABILITIES
 
 
 class CassandraSchema(Schema):
@@ -199,38 +205,28 @@ class CassandraFilterRule(RelOptRule):
                          f"CassandraFilterRule({schema.name})")
         self.schema = schema
 
+    _CQL_OPS = {SqlKind.EQUALS: "=", SqlKind.LESS_THAN: "<",
+                SqlKind.LESS_THAN_OR_EQUAL: "<=",
+                SqlKind.GREATER_THAN: ">",
+                SqlKind.GREATER_THAN_OR_EQUAL: ">="}
+
     def _translate(self, condition: RexNode, query: "CassandraQuery"):
         """Split the predicate into (partition equality, clustering
         ranges, residual conjuncts) — non-key comparisons stay client
         side as a residual filter, a *partial* pushdown."""
         table_def = query.cass_table.table_def
         names = list(query.cass_table.row_type.field_names)
+        comparisons, residual = split_comparisons(condition)
         partition: Dict[str, Any] = {}
         ranges: List[Tuple[str, str, Any]] = []
-        residual: List[RexNode] = []
-        for conjunct in decompose_conjunction(condition):
-            pushed = False
-            if isinstance(conjunct, RexCall) and conjunct.kind in COMPARISON_KINDS:
-                a, b = conjunct.operands
-                kind = conjunct.kind
-                if isinstance(a, RexLiteral):
-                    a, b = b, a
-                    kind = kind.reverse()
-                if isinstance(a, RexInputRef) and isinstance(b, RexLiteral):
-                    column = names[a.index]
-                    if column in table_def.partition_keys and kind is SqlKind.EQUALS:
-                        partition[column] = b.value
-                        pushed = True
-                    elif column in table_def.clustering_keys:
-                        op = {SqlKind.EQUALS: "=", SqlKind.LESS_THAN: "<",
-                              SqlKind.LESS_THAN_OR_EQUAL: "<=",
-                              SqlKind.GREATER_THAN: ">",
-                              SqlKind.GREATER_THAN_OR_EQUAL: ">="}.get(kind)
-                        if op is not None:
-                            ranges.append((column, op, b.value))
-                            pushed = True
-            if not pushed:
-                residual.append(conjunct)
+        for comp in comparisons:
+            column = names[comp.field]
+            if column in table_def.partition_keys and comp.kind is SqlKind.EQUALS:
+                partition[column] = comp.value
+            elif column in table_def.clustering_keys and comp.kind in self._CQL_OPS:
+                ranges.append((column, self._CQL_OPS[comp.kind], comp.value))
+            else:
+                residual.append(comp.rex)
         return partition, ranges, residual
 
     def matches(self, call: RelOptRuleCall) -> bool:

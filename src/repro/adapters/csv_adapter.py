@@ -13,6 +13,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType, SqlTypeName
 from ..schema.core import Schema, Statistic, Table
+from .capability import ScanCapabilities
 
 _F = DEFAULT_TYPE_FACTORY
 
@@ -27,6 +28,15 @@ _TYPE_NAMES = {
     "boolean": _F.boolean(),
     "timestamp": _F.timestamp(),
 }
+
+
+#: no pushdown (files have no compute), but the generic client-side
+#: hash-mod partitioned scan applies; each partition re-reads and
+#: re-parses the file, trading repeated IO for parse parallelism.
+_CSV_CAPABILITIES = ScanCapabilities(
+    supports_partitioned_scan=True,
+    partition_scheme="hash-mod",
+)
 
 
 class CsvTable(Table):
@@ -47,6 +57,9 @@ class CsvTable(Table):
                 yield tuple(
                     _convert(value, typ)
                     for value, typ in zip(raw, self._field_types))
+
+    def capabilities(self) -> ScanCapabilities:
+        return _CSV_CAPABILITIES
 
 
 class CsvSchema(Schema):

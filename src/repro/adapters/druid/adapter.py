@@ -11,24 +11,24 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ...core.cost import RelOptCost
 from ...core.rel import Aggregate, Filter, LogicalTableScan, RelNode
-from ...core.rex import (
-    COMPARISON_KINDS,
-    RexCall,
-    RexInputRef,
-    RexLiteral,
-    RexNode,
-    SqlKind,
-    decompose_conjunction,
-)
+from ...core.rex import RexNode, SqlKind
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
 from ...schema.core import Schema, Statistic, Table
+from ..capability import ScanCapabilities, split_comparisons
 from .store import DruidDatasource, DruidStore, render_query
 
 _F = DEFAULT_TYPE_FACTORY
 
 DRUID = Convention("druid")
+
+#: filters and grouped aggregations collapse into one JSON query; no
+#: partitioned scans (no server-side hash-mod over segments here).
+_DRUID_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter", "aggregate"}),
+)
 
 
 class DruidTable(Table):
@@ -47,6 +47,9 @@ class DruidTable(Table):
             for e in events:
                 self.store.rows_scanned += 1
                 yield tuple(e.get(n) for n in names)
+
+    def capabilities(self) -> ScanCapabilities:
+        return _DRUID_CAPABILITIES
 
 
 class DruidSchema(Schema):
@@ -150,36 +153,32 @@ class DruidTableScanRule(ConverterRule):
         return DruidQuery(source)
 
 
+_BOUND_SPECS = {
+    SqlKind.GREATER_THAN: ("lower", True),
+    SqlKind.GREATER_THAN_OR_EQUAL: ("lower", False),
+    SqlKind.LESS_THAN: ("upper", True),
+    SqlKind.LESS_THAN_OR_EQUAL: ("upper", False),
+}
+
+
 def translate_filter_spec(condition: RexNode, field_names) -> Optional[dict]:
-    fields: List[dict] = []
-    for conjunct in decompose_conjunction(condition):
-        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
-            return None
-        a, b = conjunct.operands
-        kind = conjunct.kind
-        if isinstance(a, RexLiteral):
-            a, b = b, a
-            kind = kind.reverse()
-        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
-            return None
-        dim = field_names[a.index]
-        value = b.value
-        if kind is SqlKind.EQUALS:
-            fields.append({"type": "selector", "dimension": dim, "value": value})
-        elif kind is SqlKind.GREATER_THAN:
-            fields.append({"type": "bound", "dimension": dim,
-                           "lower": value, "lowerStrict": True})
-        elif kind is SqlKind.GREATER_THAN_OR_EQUAL:
-            fields.append({"type": "bound", "dimension": dim, "lower": value})
-        elif kind is SqlKind.LESS_THAN:
-            fields.append({"type": "bound", "dimension": dim,
-                           "upper": value, "upperStrict": True})
-        elif kind is SqlKind.LESS_THAN_OR_EQUAL:
-            fields.append({"type": "bound", "dimension": dim, "upper": value})
-        else:
-            return None
-    if not fields:
+    """Rex conjuncts → selector/bound filter specs; all-or-nothing."""
+    pushed, residual = split_comparisons(
+        condition, kinds=frozenset(_BOUND_SPECS) | {SqlKind.EQUALS})
+    if residual or not pushed:
         return None
+    fields: List[dict] = []
+    for comp in pushed:
+        dim = field_names[comp.field]
+        if comp.kind is SqlKind.EQUALS:
+            fields.append({"type": "selector", "dimension": dim,
+                           "value": comp.value})
+        else:
+            side, strict = _BOUND_SPECS[comp.kind]
+            spec = {"type": "bound", "dimension": dim, side: comp.value}
+            if strict:
+                spec[side + "Strict"] = True
+            fields.append(spec)
     if len(fields) == 1:
         return fields[0]
     return {"type": "and", "fields": fields}

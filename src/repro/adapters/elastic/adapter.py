@@ -6,24 +6,24 @@ from typing import Any, Dict, List, Optional
 
 from ...core.cost import RelOptCost
 from ...core.rel import Filter, LogicalTableScan, Project, RelNode, Sort
-from ...core.rex import (
-    COMPARISON_KINDS,
-    RexCall,
-    RexInputRef,
-    RexLiteral,
-    RexNode,
-    SqlKind,
-    decompose_conjunction,
-)
+from ...core.rex import RexNode, SqlKind
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
 from ...schema.core import Schema, Statistic, Table
+from ..capability import ScanCapabilities, split_comparisons
 from .store import ElasticStore, render_search
 
 _F = DEFAULT_TYPE_FACTORY
 
 ELASTIC = Convention("elasticsearch")
+
+#: term/range filters, _source projections and size limits all travel
+#: in the _search body; no partitioned scans (no server-side hash-mod).
+_ELASTIC_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter", "project", "limit"}),
+)
 
 
 class ElasticTable(Table):
@@ -40,6 +40,9 @@ class ElasticTable(Table):
         for doc in self.store.indexes.get(self.index.lower(), []):
             self.store.docs_scanned += 1
             yield tuple(doc.get(n) for n in names)
+
+    def capabilities(self) -> ScanCapabilities:
+        return _ELASTIC_CAPABILITIES
 
 
 class ElasticSchema(Schema):
@@ -133,32 +136,31 @@ class ElasticTableScanRule(ConverterRule):
         return ElasticQuery(source)
 
 
+_RANGE_OPS = {
+    SqlKind.GREATER_THAN: "gt",
+    SqlKind.GREATER_THAN_OR_EQUAL: "gte",
+    SqlKind.LESS_THAN: "lt",
+    SqlKind.LESS_THAN_OR_EQUAL: "lte",
+}
+
+
 def translate_to_dsl(condition: RexNode, field_names) -> Optional[List[dict]]:
-    """Rex conjuncts → term/range filter clauses; None if inexpressible."""
+    """Rex conjuncts → term/range filter clauses; None if inexpressible.
+
+    All-or-nothing: a residual conjunct means no pushdown (the rule
+    would otherwise have to keep a partial Filter on top)."""
+    pushed, residual = split_comparisons(
+        condition,
+        kinds=frozenset(_RANGE_OPS) | {SqlKind.EQUALS})
+    if residual:
+        return None
     clauses: List[dict] = []
-    range_ops = {
-        SqlKind.GREATER_THAN: "gt",
-        SqlKind.GREATER_THAN_OR_EQUAL: "gte",
-        SqlKind.LESS_THAN: "lt",
-        SqlKind.LESS_THAN_OR_EQUAL: "lte",
-    }
-    for conjunct in decompose_conjunction(condition):
-        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
-            return None
-        a, b = conjunct.operands
-        kind = conjunct.kind
-        if isinstance(a, RexLiteral):
-            a, b = b, a
-            kind = kind.reverse()
-        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
-            return None
-        field = field_names[a.index]
-        if kind is SqlKind.EQUALS:
-            clauses.append({"term": {field: b.value}})
-        elif kind in range_ops:
-            clauses.append({"range": {field: {range_ops[kind]: b.value}}})
+    for comp in pushed:
+        field = field_names[comp.field]
+        if comp.kind is SqlKind.EQUALS:
+            clauses.append({"term": {field: comp.value}})
         else:
-            return None
+            clauses.append({"range": {field: {_RANGE_OPS[comp.kind]: comp.value}}})
     return clauses
 
 

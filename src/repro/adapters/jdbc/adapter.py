@@ -28,16 +28,39 @@ from ...core.rel import (
     Sort,
     TableScan,
 )
-from ...core.rex import RexNode, RexOver, RexSubQuery, RexVisitor, contains_over
+from ...core.rex import (
+    EQUALS,
+    MOD,
+    RexCall,
+    RexInputRef,
+    RexNode,
+    RexOver,
+    RexSubQuery,
+    RexVisitor,
+    contains_over,
+    literal,
+)
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType, SqlTypeName
 from ...schema.core import Schema, Statistic, Table
 from ...sql.dialect import SqlDialect, dialect_for
 from ...sql.unparser import RelToSqlConverter
+from ..capability import HASH, ScanCapabilities
 from .minidb import MiniDb
 
 _F = DEFAULT_TYPE_FACTORY
+
+#: SQL backends evaluate arbitrary scalar predicates, so they can both
+#: push every pipeline stage and filter partition predicates
+#: (``MOD(HASH(keys), n) = i``) server-side.
+_JDBC_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    supports_partitioned_scan=True,
+    partition_scheme="hash-mod",
+    pushable_ops=frozenset(
+        {"filter", "project", "sort", "limit", "aggregate", "join"}),
+)
 
 
 class JdbcTable(Table):
@@ -48,12 +71,29 @@ class JdbcTable(Table):
         super().__init__(name, row_type, statistic)
         self.db = db
 
+    def capabilities(self) -> ScanCapabilities:
+        return _JDBC_CAPABILITIES
+
     def scan(self):
         """Fallback full scan (enumerable convention)."""
         table = self.db.table(self.name)
         for row in table.rows:
             self.db.rows_read += 1
             yield tuple(row)
+
+    def scan_partition(self, partition_id, n_partitions, keys=()):
+        """Server-side shard: the backend filters the partition predicate.
+
+        Hashes all columns when no keys are requested — still a
+        disjoint cover (duplicate rows travel together), and unlike a
+        stride it needs no row numbering from the backend.
+        """
+        names = list(self.row_type.field_names)
+        cols = ", ".join(names[k] for k in keys) if keys else ", ".join(names)
+        sql = (f"SELECT * FROM {self.name} "
+               f"WHERE MOD(HASH({cols}), {n_partitions}) = {partition_id}")
+        _, rows = self.db.execute(sql)
+        return iter(rows)
 
 
 class JdbcSchema(Schema):
@@ -124,6 +164,64 @@ class JdbcQuery(RelNode):
 
     def explain_terms(self):
         return [("sql", self.sql())]
+
+    # -- partition pushdown (the capability interface's scan_partition,
+    #    lifted to an accumulated query) --------------------------------
+
+    def can_partition(self, keys: Sequence[int]) -> bool:
+        """Whether ``MOD(HASH(keys), n) = i`` can be pushed into this
+        query's WHERE clause.  Sort-topped inners are blocked (a
+        partition filter under a LIMIT changes which rows survive) and
+        aggregate-topped inners too (the groups, not the source rows,
+        would be partitioned)."""
+        return _partitioned_inner(self.inner, tuple(keys), 0, 2) is not None
+
+    def with_partition(self, partition_id: int, n_partitions: int,
+                       keys: Sequence[int] = ()) -> "JdbcQuery":
+        """This query restricted to one partition, server-side."""
+        inner = _partitioned_inner(self.inner, tuple(keys), partition_id,
+                                   n_partitions)
+        if inner is None:  # pragma: no cover - guarded by can_partition
+            raise ValueError("query is not partitionable")
+        return JdbcQuery(self.schema, inner, self.traits)
+
+
+def _partitioned_inner(rel: RelNode, keys: Sequence[int], partition_id: int,
+                       n_partitions: int) -> Optional[RelNode]:
+    """Rebuild an inner tree with the partition predicate at the scan.
+
+    Keys arrive in the query's output space and are remapped down
+    through projections; the predicate lands directly above the table
+    scan so the backend filters before any other pushed work.  Only
+    scan/filter/project pipelines qualify — anything else (aggregate,
+    sort, join) changes row identity or multiplicity and is rejected.
+    """
+    if isinstance(rel, Project):
+        inner_keys = []
+        for k in keys:
+            p = rel.projects[k]
+            if not isinstance(p, RexInputRef):
+                return None
+            inner_keys.append(p.index)
+        sub = _partitioned_inner(rel.input, tuple(inner_keys), partition_id,
+                                 n_partitions)
+        if sub is None:
+            return None
+        return LogicalProject(sub, rel.projects, rel.field_names)
+    if isinstance(rel, Filter):
+        sub = _partitioned_inner(rel.input, keys, partition_id, n_partitions)
+        if sub is None:
+            return None
+        return LogicalFilter(sub, rel.condition)
+    if isinstance(rel, TableScan):
+        fields = rel.row_type.fields
+        key_list = tuple(keys) or tuple(range(len(fields)))
+        refs = [RexInputRef(k, fields[k].type) for k in key_list]
+        predicate = RexCall(EQUALS, [
+            RexCall(MOD, [RexCall(HASH, refs), literal(n_partitions)]),
+            literal(partition_id)])
+        return LogicalFilter(LogicalTableScan(rel.table), predicate)
+    return None
 
 
 class JdbcToEnumerableConverterRule(ConverterRule):

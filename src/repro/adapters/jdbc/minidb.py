@@ -447,7 +447,7 @@ class MiniDb:
             op = _SCALAR_OPS.get(name)
             if op is None:
                 raise MiniDbError(f"unsupported function {name}")
-            if name not in ("||",) and any(a is None for a in args):
+            if name not in _NULL_TOLERANT and any(a is None for a in args):
                 return None
             return op(*args)
         raise MiniDbError(f"unsupported expression {type(expr).__name__}")
@@ -478,6 +478,10 @@ class _SortKey:
 
 _AGG_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
 
+#: functions evaluated even over NULL arguments — HASH must place a
+#: NULL-key row on its (single) partition rather than filter it out.
+_NULL_TOLERANT = ("||", "HASH")
+
 
 def _like(value, pattern):
     import re
@@ -506,6 +510,10 @@ _SCALAR_OPS: Dict[str, Callable] = {
     "*": lambda a, b: a * b,
     "/": lambda a, b: a / b,
     "MOD": lambda a, b: a % b,
+    # The canonical partition hash (repro.adapters.capability): pushed
+    # partition predicates MOD(HASH(keys), n) = i must bucket exactly
+    # like the federation's in-process hash split.
+    "HASH": lambda *a: hash(a),
     "-/1": lambda a: -a,
     "||": lambda a, b: ("" if a is None else str(a)) + ("" if b is None else str(b)),
     "LIKE": _like,

@@ -1,11 +1,74 @@
-"""The in-memory adapter: the simplest possible backend.
+"""The in-memory adapter: the reference capability implementation.
 
-A :class:`~repro.schema.core.MemoryTable` implements only the minimal
-adapter contract — ``scan()`` — so every relational operator over it
-executes in the enumerable convention (Section 5's fallback path).
-Re-exported here so all adapters live under ``repro.adapters``.
+The base :class:`repro.schema.core.MemoryTable` implements only the
+minimal adapter contract — ``scan()``.  The :class:`MemoryTable` here
+is the reference implementation of the unified capability interface
+(:mod:`repro.adapters.capability`): it declares
+``supports_partitioned_scan`` with the canonical ``"hash-mod"``
+scheme, so the exchange-elision pass can hand each worker of a
+parallel plan its own shard directly from the adapter instead of
+re-sharding a gathered stream.
+
+Because the rows live in this process, a keyed ``scan_partition``
+buckets the table once per ``(n_partitions, keys)`` request shape and
+caches the buckets (invalidated on insert): serving all N partitions
+costs one pass over the data, like a real partitioned store, rather
+than N filtered rescans.  The per-partition call counters make the
+adapter usable as the test probe for "did the planner actually push
+the partitioning down?".
+
+No predicate pushdown is declared: in-process scans have nothing to
+win by it, and keeping the reference adapter minimal keeps the two
+capability axes independently testable.
 """
 
-from ..schema.core import MemoryTable, Statistic
+from __future__ import annotations
 
-__all__ = ["MemoryTable", "Statistic"]
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..schema.core import MemoryTable as BaseMemoryTable
+from ..schema.core import Statistic
+from .capability import ScanCapabilities, partition_of
+
+_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=False,
+    supports_partitioned_scan=True,
+    partition_scheme="hash-mod",
+)
+
+
+class MemoryTable(BaseMemoryTable):
+    """An in-memory table that serves hash-partitioned scans natively."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: cached hash buckets per (n_partitions, keys) request shape
+        self._buckets: Dict[Tuple[int, Tuple[int, ...]], List[List[tuple]]] = {}
+        #: instrumentation: (partition_id, n_partitions, keys) per call
+        self.partition_scans: List[Tuple[int, int, Tuple[int, ...]]] = []
+
+    def capabilities(self) -> ScanCapabilities:
+        return _CAPABILITIES
+
+    def insert(self, row: Sequence) -> None:
+        super().insert(row)
+        self._buckets.clear()
+
+    def scan_partition(self, partition_id: int, n_partitions: int,
+                       keys: Sequence[int] = ()) -> Iterable[tuple]:
+        keys = tuple(keys)
+        self.partition_scans.append((partition_id, n_partitions, keys))
+        if not keys:
+            # Stride slices are disjoint and free: no bucketing needed.
+            return iter(self.rows[partition_id::n_partitions])
+        shape = (n_partitions, keys)
+        buckets = self._buckets.get(shape)
+        if buckets is None:
+            buckets = [[] for _ in range(n_partitions)]
+            for row in self.rows:
+                buckets[partition_of([row[k] for k in keys], n_partitions)].append(row)
+            self._buckets[shape] = buckets
+        return iter(buckets[partition_id])
+
+
+__all__ = ["MemoryTable", "Statistic", "ScanCapabilities"]

@@ -17,23 +17,30 @@ from typing import Any, Dict, List, Optional, Tuple
 from ...core.cost import RelOptCost
 from ...core.rel import Filter, LogicalTableScan, RelNode
 from ...core.rex import (
-    COMPARISON_KINDS,
     RexCall,
     RexInputRef,
     RexLiteral,
     RexNode,
     SqlKind,
-    decompose_conjunction,
 )
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
 from ...schema.core import Schema, Statistic, Table
+from ..capability import ScanCapabilities, split_comparisons
 from .store import MongoStore, render_find
 
 _F = DEFAULT_TYPE_FACTORY
 
 MONGO = Convention("mongo")
+
+#: find() filters are the only thing Mongo evaluates server-side here;
+#: no partitioned scans — document values (dicts) are unhashable, so the
+#: canonical hash-mod partition function cannot apply to the _MAP column.
+_MONGO_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter"}),
+)
 
 
 class MongoTable(Table):
@@ -50,6 +57,9 @@ class MongoTable(Table):
         for doc in self.store.collections.get(self.collection.lower(), []):
             self.store.docs_scanned += 1
             yield (doc,)
+
+    def capabilities(self) -> ScanCapabilities:
+        return _MONGO_CAPABILITIES
 
 
 class MongoSchema(Schema):
@@ -157,26 +167,17 @@ def _field_path(node: RexNode) -> Optional[str]:
 
 
 def translate_filter(condition: RexNode) -> Optional[dict]:
-    """Rex predicate over _MAP item accesses → a Mongo filter document."""
+    """Rex predicate over _MAP item accesses → a Mongo filter document.
+
+    All-or-nothing: the rule keeps the Filter above the query unless
+    every conjunct translates, so a residual means no pushdown."""
+    pushed, residual = split_comparisons(
+        condition, field_of=_field_path, kinds=frozenset(_OPS))
+    if residual:
+        return None
     doc: Dict[str, Any] = {}
-    for conjunct in decompose_conjunction(condition):
-        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
-            return None
-        a, b = conjunct.operands
-        kind = conjunct.kind
-        if isinstance(a, RexLiteral):
-            a, b = b, a
-            kind = kind.reverse()
-        if not isinstance(b, RexLiteral):
-            return None
-        path = _field_path(a)
-        if path is None:
-            return None
-        value = b.value
-        clause = doc.setdefault(path, {})
-        if not isinstance(clause, dict):
-            return None
-        clause[_OPS[kind]] = value
+    for comp in pushed:
+        doc.setdefault(comp.field, {})[_OPS[comp.kind]] = comp.value
     return doc
 
 

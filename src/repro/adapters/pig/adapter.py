@@ -27,6 +27,16 @@ from ...core.rex import (
     RexNode,
     SqlKind,
 )
+from ..capability import ScanCapabilities
+
+#: Pig is a batch translation target: whole operator trees become Pig
+#: Latin scripts (FILTER/FOREACH/JOIN/GROUP/ORDER), so these operators
+#: all "push" in the sense of running inside the Pig engine.  No
+#: partitioned scans — script execution is one batch job.
+PIG_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter", "project", "join", "aggregate", "sort"}),
+)
 
 
 class PigTranslationError(Exception):

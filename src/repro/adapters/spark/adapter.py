@@ -28,10 +28,20 @@ from ...core.rel import (
 from ...core.rex_eval import EvalContext, evaluate
 from ...core.rule import ConverterRule, RelOptRuleCall
 from ...core.traits import Convention, RelTraitSet
+from ..capability import ScanCapabilities
 from .rdd import RDD, SparkContext
 
 SPARK = Convention("spark")
 _SPARK_TRAITS = RelTraitSet(SPARK)
+
+#: Spark is an execution engine, not a storage backend: every listed
+#: operator converts into the spark convention and runs as RDD
+#: transformations.  It owns no tables, so partitioned *scans* are a
+#: property of the sources it reads, not of Spark itself.
+SPARK_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter", "project", "join", "aggregate"}),
+)
 
 #: module-level context so plans and benches share job counters
 DEFAULT_SPARK_CONTEXT = SparkContext()

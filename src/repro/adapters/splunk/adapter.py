@@ -21,24 +21,26 @@ from ...core.rel import (
     RelNode,
     Sort,
 )
-from ...core.rex import (
-    COMPARISON_KINDS,
-    RexCall,
-    RexInputRef,
-    RexLiteral,
-    RexNode,
-    decompose_conjunction,
-)
+from ...core.rex import RexNode
 from ...core.rule import ConverterRule, RelOptRule, RelOptRuleCall, any_operand, operand
 from ...core.traits import Convention, RelTraitSet
 from ...core.types import DEFAULT_TYPE_FACTORY, RelDataType
 from ...schema.core import Schema, Statistic, Table
+from ..capability import ScanCapabilities, split_comparisons
 from ..jdbc.adapter import JdbcQuery
 from .store import SplunkStore
 
 _F = DEFAULT_TYPE_FACTORY
 
 SPLUNK = Convention("splunk")
+
+#: search terms, ``fields`` projections, and joins (via the lookup
+#: stage) run inside Splunk; no partitioned scans — SPL search has no
+#: hash-mod shard predicate.
+_SPLUNK_CAPABILITIES = ScanCapabilities(
+    supports_predicate_pushdown=True,
+    pushable_ops=frozenset({"filter", "project", "join"}),
+)
 
 
 class SplunkTable(Table):
@@ -60,6 +62,9 @@ class SplunkTable(Table):
         for event in self.store.indexes.get(self.index.lower(), []):
             self.store.events_scanned += 1
             yield tuple(event.get(n) for n in names)
+
+    def capabilities(self) -> ScanCapabilities:
+        return _SPLUNK_CAPABILITIES
 
 
 class SplunkSchema(Schema):
@@ -173,28 +178,21 @@ class SplunkTableScanRule(ConverterRule):
         return SplunkQuery(rel, source)
 
 
+_SPL_OPS = {"=": "=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
 def _extract_conditions(condition: RexNode,
                         field_names) -> Optional[List[Tuple[str, str, Any]]]:
-    """Decompose a predicate into SPL search terms; None if inexpressible."""
-    ops = {
-        "=": "=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
-    }
-    out: List[Tuple[str, str, Any]] = []
-    for conjunct in decompose_conjunction(condition):
-        if not isinstance(conjunct, RexCall) or conjunct.kind not in COMPARISON_KINDS:
-            return None
-        a, b = conjunct.operands
-        kind = conjunct.kind
-        if isinstance(a, RexLiteral) and isinstance(b, RexInputRef):
-            a, b = b, a
-            kind = kind.reverse()
-        if not (isinstance(a, RexInputRef) and isinstance(b, RexLiteral)):
-            return None
-        op = ops.get(kind.value)
-        if op is None or isinstance(b.value, (list, dict)):
-            return None
-        out.append((field_names[a.index], op, b.value))
-    return out
+    """Decompose a predicate into SPL search terms; None if inexpressible.
+
+    All-or-nothing; SPL terms can't hold structured literals, so list
+    and dict values are rejected via ``accept_value``."""
+    pushed, residual = split_comparisons(
+        condition, accept_value=lambda v: not isinstance(v, (list, dict)))
+    if residual:
+        return None
+    return [(field_names[c.field], _SPL_OPS[c.kind.value], c.value)
+            for c in pushed]
 
 
 class SplunkFilterRule(RelOptRule):

@@ -81,6 +81,12 @@ class FrameworkConfig:
     #: join build sides at or below this estimated row count are
     #: broadcast instead of hash-partitioning both inputs
     broadcast_join_threshold: float = DEFAULT_BROADCAST_THRESHOLD
+    #: let backends whose :class:`~repro.adapters.capability.ScanCapabilities`
+    #: declare ``supports_partitioned_scan`` serve parallel shards
+    #: directly, eliding the exchange that would otherwise re-shard a
+    #: gathered serial scan.  False forces gather-then-shard plans
+    #: (the federated benchmark's baseline).
+    partitioned_scans: bool = True
     #: extra rules (beyond the standard set and adapter-contributed ones)
     rules: List[RelOptRule] = field(default_factory=list)
     #: extra metadata providers, consulted before the defaults
@@ -178,7 +184,8 @@ class Planner:
             from .runtime.vectorized.parallel_rules import insert_exchanges
             rel = insert_exchanges(
                 rel, self.config.parallelism, mq=self._mq(),
-                broadcast_threshold=self.config.broadcast_join_threshold)
+                broadcast_threshold=self.config.broadcast_join_threshold,
+                partitioned_scans=self.config.partitioned_scans)
         return rel
 
     def rewrite_with_hep(self, rel: RelNode) -> RelNode:
@@ -259,9 +266,16 @@ class Planner:
 
     # -- stage 4: prepare (cacheable) -----------------------------------------
     def _planning_fingerprint(self) -> Tuple:
-        """Everything in the config that can change the chosen plan."""
+        """Everything in the config that can change the chosen plan.
+
+        Includes the catalog's adapter capability flags: a plan with
+        partition-pushdown scans is only valid against backends that
+        still advertise them, so capability changes must miss the
+        cache even when the schema tree itself is unchanged.
+        """
         c = self.config
         return (c.engine, c.parallelism, c.broadcast_join_threshold,
+                c.partitioned_scans, self.catalog.capability_fingerprint(),
                 c.join_reorder, c.exhaustive, c.delta, c.patience,
                 c.use_materializations, c.use_lattices,
                 tuple(id(r) for r in c.rules),

@@ -26,7 +26,7 @@ from ..core.rel import (
     RelNode,
     RelOptTable,
 )
-from ..schema.core import MemoryTable
+from ..adapters.memory import MemoryTable
 
 
 class Measure:

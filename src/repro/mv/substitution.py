@@ -36,7 +36,8 @@ from ..core.rel import (
     RelOptTable,
 )
 from ..core.rex import decompose_conjunction
-from ..schema.core import MemoryTable, Statistic
+from ..adapters.memory import MemoryTable
+from ..schema.core import Statistic
 
 
 class Materialization:

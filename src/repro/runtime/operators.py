@@ -15,6 +15,7 @@ built-in enumerable implementations here.  Rows are Python tuples.
 from __future__ import annotations
 
 import itertools
+import threading as _threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,16 @@ class ExecutionContext:
         self.parameters = list(parameters)
         self.rows_scanned = 0
         self.rows_emitted = 0
+        #: rows that crossed an exchange edge in a parallel plan —
+        #: partition-pushdown scans elide exchanges, so this is the
+        #: federated benchmark's shuffle-volume metric
+        self.rows_shuffled = 0
+        self._shuffle_lock = _threading.Lock()
+
+    def add_shuffled(self, n: int) -> None:
+        """Thread-safe: exchange producers run on worker threads."""
+        with self._shuffle_lock:
+            self.rows_shuffled += n
 
     def eval_context(self, correlations: Optional[Dict[str, tuple]] = None) -> EvalContext:
         return EvalContext(self.parameters, correlations, self._run_subquery)

@@ -36,6 +36,7 @@ from .batch import (
     concat_batches,
 )
 from .exchange import Exchange, InjectedBatches, SingletonExchange
+from .partitioned import PartitionedScan
 from .expr import Frame, Scalar, as_column, compile_rex
 from .nodes import (
     BatchToRow,
@@ -85,6 +86,10 @@ def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
         # Gather point of a parallel region: run the workers below.
         from .parallel import gather_batches
         return gather_batches(rel, ctx, batch_size)
+    if isinstance(rel, PartitionedScan):
+        # Reached serially: one stream already is every placement at
+        # once, so execute the unpartitioned template.
+        return execute_batches(rel.input, ctx, batch_size)
     if isinstance(rel, Exchange):
         # Any other exchange reached serially is a no-op: distribution
         # is placement, and one stream is every placement at once.

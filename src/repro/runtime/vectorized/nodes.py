@@ -154,12 +154,26 @@ class VectorizedValues(VectorizedRel, Values):
     pass
 
 
+def _bridge_cost(bridge: Converter, mq) -> RelOptCost:
+    """Engine bridges repackage rows in a single pass (chunking into or
+    flattening out of batches); costing them like a full per-row
+    operator — the generic Converter default — double-charged every
+    adapter subtree (adapter converter + bridge) and priced vectorized
+    federated plans out of the running.  The rows component is zero for
+    the same reason: a bridge adds no cardinality of its own."""
+    rows = mq.row_count(bridge.input)
+    return RelOptCost(0.0, rows * VECTOR_CPU_FACTOR, 0.0)
+
+
 class RowToBatch(VectorizedRel, Converter):
     """enumerable → vectorized: chunk a row iterator into batches."""
 
     def __init__(self, input_: RelNode,
                  out_traits: Optional[RelTraitSet] = None) -> None:
         super().__init__(input_, out_traits or _VEC_TRAITS)
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        return _bridge_cost(self, mq)
 
 
 class BatchToRow(Converter):
@@ -168,6 +182,9 @@ class BatchToRow(Converter):
     def __init__(self, input_: RelNode,
                  out_traits: Optional[RelTraitSet] = None) -> None:
         super().__init__(input_, out_traits or RelTraitSet(ENUMERABLE))
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        return _bridge_cost(self, mq)
 
     def execute_rows(self, ctx):
         from .executor import execute_batches

@@ -47,6 +47,7 @@ from .exchange import (
     RandomExchange,
     SingletonExchange,
 )
+from .partitioned import PartitionedScan
 
 #: Maximum batches in flight per exchange edge (backpressure bound).
 QUEUE_CAP = 8
@@ -176,8 +177,19 @@ def _hash_split(stream: Iterator[ColumnBatch],
         _finish(queues, region, error)
 
 
+def _count_shuffled(stream: Iterator[ColumnBatch], ctx: ExecutionContext,
+                    factor: int = 1) -> Iterator[ColumnBatch]:
+    """Meter rows entering an exchange (``factor`` copies each for a
+    broadcast); elided-shuffle plans never route rows through here."""
+    for batch in stream:
+        ctx.add_shuffled(batch.live_count * factor)
+        yield batch
+
+
 def _contains_exchange(rel: RelNode) -> bool:
-    if isinstance(rel, Exchange):
+    """True when the subtree is parallel below this point — it contains
+    an exchange edge or an adapter-partitioned scan."""
+    if isinstance(rel, (Exchange, PartitionedScan)):
         return True
     return any(_contains_exchange(i) for i in rel.inputs)
 
@@ -198,25 +210,36 @@ def partition_streams(rel: RelNode, ctx: ExecutionContext, batch_size: int,
         # nested gather runs its own region when drained.
         return [execute_batches(rel, ctx, batch_size)]
 
+    if isinstance(rel, PartitionedScan):
+        # Elided exchange: the backend serves each shard directly, so
+        # the partition streams exist without any inter-worker edge
+        # (and contribute nothing to ``rows_shuffled``).
+        return [execute_batches(rel.partition_rel(p), ctx, batch_size)
+                for p in range(rel.n_partitions)]
+
     if isinstance(rel, HashExchange):
         child = partition_streams(rel.input, ctx, batch_size, region)
         queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
         for stream in child:
-            region.spawn(_hash_split, stream, queues, rel.keys, region)
+            region.spawn(_hash_split, _count_shuffled(stream, ctx), queues,
+                         rel.keys, region)
         return [_iter_queue(q, len(child), region) for q in queues]
 
     if isinstance(rel, RandomExchange):
         child = partition_streams(rel.input, ctx, batch_size, region)
         queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
         for offset, stream in enumerate(child):
-            region.spawn(_round_robin, stream, queues, offset, region)
+            region.spawn(_round_robin, _count_shuffled(stream, ctx), queues,
+                         offset, region)
         return [_iter_queue(q, len(child), region) for q in queues]
 
     if isinstance(rel, BroadcastExchange):
         child = partition_streams(rel.input, ctx, batch_size, region)
         queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.parallelism)]
         for stream in child:
-            region.spawn(_drain_into, stream, queues, region)
+            region.spawn(_drain_into,
+                         _count_shuffled(stream, ctx, rel.parallelism),
+                         queues, region)
         return [_iter_queue(q, len(child), region) for q in queues]
 
     # Partition-local operator: run one copy per partition.

@@ -18,6 +18,28 @@ input's current distribution does not already satisfy it**:
   fetch) and gathers through an ordered merge;
 * the root gathers to ``SINGLETON`` so callers always see one stream.
 
+**Exchange elision.**  Before stacking an exchange on a serial
+subtree, the pass asks :func:`~.partitioned.try_partition` whether the
+subtree's *backend* can serve the partitions itself (the unified
+adapter capability interface, :mod:`repro.adapters.capability`).  The
+decision, in order:
+
+1. the input already has the required distribution — no exchange
+   (pre-existing behaviour);
+2. the input is serial but its leaf declares
+   ``supports_partitioned_scan`` with a compatible scheme — a
+   :class:`~.partitioned.PartitionedScan` replaces the exchange, and
+   the adapter delivers co-partitioned output directly (``hash-mod``
+   on the required keys for joins/aggregates, any disjoint cover for
+   keyless spreads);
+3. otherwise — a real exchange re-shards the gathered stream.
+
+Elision is attempted at every requirement point (hash requirements of
+joins and aggregates, spreads for broadcast-probe sides and UNION ALL)
+and can be disabled wholesale with
+``FrameworkConfig(partitioned_scans=False)`` for gather-then-shard
+baselines.
+
 Distribution bookkeeping inside the pass tracks the *runtime* hash-key
 order (the order values are actually hashed in), which is stricter
 than the canonicalised ``RelDistribution`` trait: two inputs are only
@@ -99,12 +121,22 @@ class ExchangeInsertionRules:
     """The distribution-enforcement pass over a physical plan."""
 
     def __init__(self, parallelism: int, mq: Any = None,
-                 broadcast_threshold: float = DEFAULT_BROADCAST_THRESHOLD) -> None:
+                 broadcast_threshold: float = DEFAULT_BROADCAST_THRESHOLD,
+                 partitioned_scans: bool = True) -> None:
         self.parallelism = parallelism
         self.mq = mq
         self.broadcast_threshold = broadcast_threshold
+        self.partitioned_scans = partitioned_scans
 
     # -- requirement enforcement ---------------------------------------
+
+    def _try_partition(self, rel: RelNode, keys: Sequence[int]) -> Optional[RelNode]:
+        """Elide an exchange: a PartitionedScan over ``rel`` when its
+        backend can serve the shards itself, else None."""
+        if not self.partitioned_scans:
+            return None
+        from .partitioned import try_partition
+        return try_partition(rel, keys, self.parallelism)
 
     def _spread(self, rel: RelNode) -> RelNode:
         """Turn a serial subtree into a RANDOM-partitioned one, pushing
@@ -118,6 +150,10 @@ class ExchangeInsertionRules:
         """Require a real spread (each row on exactly one worker)."""
         if dist.kind in ("RANDOM", "HASH"):
             return rel, dist
+        partitioned = self._try_partition(rel, ())
+        if partitioned is not None:
+            # The adapter deals out disjoint shards itself: no exchange.
+            return partitioned, _RANDOM
         return self._spread(rel), _RANDOM
 
     def _ensure_hash(self, rel: RelNode, dist: _Dist,
@@ -128,10 +164,16 @@ class ExchangeInsertionRules:
             return rel, dist  # every worker holds all rows: co-located
         if dist.kind == "HASH" and dist.keys == keys:
             return rel, dist
-        if dist.kind == "SINGLETON" and isinstance(
-                rel, (VectorizedFilter, VectorizedProject)):
-            # Parallelise the feeding pipeline before repartitioning.
-            rel = self._spread(rel)
+        if dist.kind == "SINGLETON":
+            partitioned = self._try_partition(rel, keys)
+            if partitioned is not None:
+                # The backend delivers co-partitioned output directly
+                # (MOD(HASH(keys), N) = i server-side, or a bucketed
+                # in-process shard): the shuffle is elided.
+                return partitioned, _Dist("HASH", keys)
+            if isinstance(rel, (VectorizedFilter, VectorizedProject)):
+                # Parallelise the feeding pipeline before repartitioning.
+                rel = self._spread(rel)
         return HashExchange(rel, keys, self.parallelism), _Dist("HASH", keys)
 
     def _gather(self, rel: RelNode, dist: _Dist) -> RelNode:
@@ -249,6 +291,15 @@ class ExchangeInsertionRules:
             out = rel.copy(inputs=[child])
             out_keys = tuple(group.index(k) for k in dist.keys)
             return out, _Dist("HASH", out_keys)
+        if group and dist.kind == "SINGLETON":
+            partitioned = self._try_partition(child, group_keys)
+            if partitioned is not None:
+                # The backend co-locates each group on one partition:
+                # one aggregation phase, no partial/final split, no
+                # exchange at all.
+                out = rel.copy(inputs=[partitioned])
+                out_keys = tuple(group.index(k) for k in group_keys)
+                return out, _Dist("HASH", out_keys)
         if not decomposable:
             # DISTINCT / FILTER / COLLECT aggregates need all rows of a
             # group in one place and cannot be merged from partials.
@@ -369,11 +420,17 @@ class ExchangeInsertionRules:
 
 
 def insert_exchanges(plan: RelNode, parallelism: int, mq: Any = None,
-                     broadcast_threshold: float = DEFAULT_BROADCAST_THRESHOLD
-                     ) -> RelNode:
+                     broadcast_threshold: float = DEFAULT_BROADCAST_THRESHOLD,
+                     partitioned_scans: bool = True) -> RelNode:
     """Enforce distribution requirements over a vectorized physical
-    plan, returning a plan whose root produces a single stream."""
+    plan, returning a plan whose root produces a single stream.
+
+    ``partitioned_scans=False`` disables exchange elision, forcing the
+    gather-then-shard plans PR 2 produced (the baseline the federated
+    benchmark compares against).
+    """
     if parallelism <= 1:
         return plan
-    rules = ExchangeInsertionRules(parallelism, mq, broadcast_threshold)
+    rules = ExchangeInsertionRules(parallelism, mq, broadcast_threshold,
+                                   partitioned_scans)
     return rules.apply(plan)

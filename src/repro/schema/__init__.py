@@ -1,5 +1,6 @@
 """Schemas, tables, statistics and JSON models (Section 5, Figure 3)."""
 
-from .core import Catalog, MemoryTable, Schema, Statistic, Table, ViewTable
+from ..adapters.memory import MemoryTable
+from .core import Catalog, Schema, Statistic, Table, ViewTable
 
 __all__ = ["Catalog", "MemoryTable", "Schema", "Statistic", "Table", "ViewTable"]

@@ -38,6 +38,12 @@ class Table:
     The minimal contract (the paper's "minimal interface that an
     adapter must implement") is :meth:`scan`; with just that, the
     enumerable convention can answer arbitrary SQL over the table.
+
+    Backends additionally advertise what else their scans can do via
+    :meth:`capabilities` (see
+    :class:`repro.adapters.capability.ScanCapabilities`), and tables
+    whose capability declares ``supports_partitioned_scan`` serve one
+    shard of a partitioned scan through :meth:`scan_partition`.
     """
 
     def __init__(self, name: str, row_type: RelDataType,
@@ -48,6 +54,35 @@ class Table:
 
     def scan(self) -> Iterable[tuple]:
         raise NotImplementedError
+
+    def capabilities(self) -> Any:
+        """This table's :class:`~repro.adapters.capability.ScanCapabilities`.
+
+        The base contract is scan-only; adapters override to declare
+        pushdown/partitioning support.
+        """
+        from ..adapters.capability import SCAN_ONLY
+        return SCAN_ONLY
+
+    def scan_partition(self, partition_id: int, n_partitions: int,
+                       keys: Sequence[int] = ()) -> Iterable[tuple]:
+        """Serve one shard of a partitioned scan.
+
+        With ``keys``, emits exactly the rows whose key columns hash to
+        this partition under the canonical
+        :func:`~repro.adapters.capability.partition_of` (co-partitioned
+        with the parallel scheduler's hash split).  Without keys, deals
+        out a disjoint stride slice — any disjoint cover is valid when
+        no co-location is required.  This generic implementation still
+        scans everything and filters client-side; backends that can
+        filter server-side (e.g. SQL sources pushing
+        ``MOD(HASH(keys), n) = i``) override it.
+        """
+        if not keys:
+            return itertools.islice(self.scan(), partition_id, None, n_partitions)
+        from ..adapters.capability import partition_of
+        return (row for row in self.scan()
+                if partition_of([row[k] for k in keys], n_partitions) == partition_id)
 
     #: adapters may set this to create their own physical scan node
     scan_factory: Optional[Callable[[RelOptTable], Any]] = None
@@ -147,6 +182,15 @@ class Schema:
         for sub in self.subschemas.values():
             rules.extend(sub.all_rules())
         return rules
+
+    def capability_entries(self, prefix: str = "") -> List[Tuple[str, Tuple]]:
+        """(qualified name, capability fingerprint) for every table."""
+        out: List[Tuple[str, Tuple]] = []
+        for name, table in sorted(self.tables.items()):
+            out.append((prefix + name, table.capabilities().fingerprint()))
+        for name, sub in sorted(self.subschemas.items()):
+            out.extend(sub.capability_entries(prefix + name + "."))
+        return out
 
     def all_materializations(self) -> List[Any]:
         out = list(self.materializations)
@@ -248,6 +292,16 @@ class Catalog:
                 row_count=stat.row_count, unique_keys=stat.unique_keys,
                 collation=stat.collation, scan_factory=table.scan_factory)
         return self._opt_tables[key]
+
+    def capability_fingerprint(self) -> Tuple[Tuple[str, Tuple], ...]:
+        """Adapter capability flags of every table, for plan-cache keys.
+
+        Partitioning/pushdown capabilities shape the physical plan (a
+        partition-pushdown scan is only valid against a backend that
+        declared it), so a cached plan must never be served to a
+        catalog whose adapters advertise different capabilities.
+        """
+        return tuple(self.root.capability_entries())
 
     def all_rules(self) -> List[Any]:
         return self.root.all_rules()

@@ -24,7 +24,8 @@ import json
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.types import DEFAULT_TYPE_FACTORY, RelDataType
-from .core import Catalog, MemoryTable, Schema, ViewTable
+from ..adapters.memory import MemoryTable
+from .core import Catalog, Schema, ViewTable
 
 _F = DEFAULT_TYPE_FACTORY
 

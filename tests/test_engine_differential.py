@@ -225,13 +225,14 @@ def _planners(builder):
     return _CATALOG_CACHE[builder]
 
 
-def _parallel_planner(builder, parallelism):
+def _parallel_planner(builder, parallelism, partitioned_scans=True):
     """A parallel vectorized planner sharing the cached catalog."""
-    key = (builder, parallelism)
+    key = (builder, parallelism, partitioned_scans)
     if key not in _PARALLEL_CACHE:
         catalog = _planners(builder)[0].catalog
         _PARALLEL_CACHE[key] = Planner(FrameworkConfig(
-            catalog, engine="vectorized", parallelism=parallelism))
+            catalog, engine="vectorized", parallelism=parallelism,
+            partitioned_scans=partitioned_scans))
     return _PARALLEL_CACHE[key]
 
 
@@ -289,13 +290,28 @@ def test_parallel_agrees_with_serial_and_row(builder, sql, ordered,
 @pytest.mark.parallel
 def test_parallel_plans_actually_partition():
     """Guard against the parallel axis silently re-running the serial
-    plan: a partitionable aggregation must plan into exchanges."""
+    plan: a partitionable aggregation must plan into partitioned scans
+    (the backend deals out shards directly) with a gathering exchange;
+    when the backend cannot partition, a HashExchange shuffle."""
     par = _parallel_planner(build_sales_catalog, 2)
     plan = par.optimize(par.rel(
         "SELECT productId, SUM(units) FROM s.sales GROUP BY productId"))
     text = plan.explain()
-    assert "HashExchange" in text
+    assert "PartitionedScan" in text or "HashExchange" in text
     assert "SingletonExchange" in text
+
+
+@pytest.mark.parallel
+def test_partitioned_scan_elision_is_optional():
+    """partitioned_scans=False restores the gather-then-shard baseline
+    (shuffle through a HashExchange instead of adapter partitions)."""
+    par = _parallel_planner(build_sales_catalog, 2,
+                            partitioned_scans=False)
+    plan = par.optimize(par.rel(
+        "SELECT productId, SUM(units) FROM s.sales GROUP BY productId"))
+    text = plan.explain()
+    assert "HashExchange" in text
+    assert "PartitionedScan" not in text
 
 
 def test_vectorized_plans_actually_vectorize():

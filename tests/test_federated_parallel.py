@@ -1,0 +1,257 @@
+"""Federated partition-pushdown scans: differential + golden coverage.
+
+The multi-adapter axis of the parallel differential suite: queries
+joining jdbc, memory, and splunk backends run at parallelism 1/2/4,
+with partition pushdown both on and off, and every variant must return
+the serial row engine's rows.  Golden snapshots pin the partitioned
+plan shape for the two reference backends (jdbc: predicate rendered
+into the shard SQL; memory: hash buckets served natively), and unit
+tests check the shard-level contracts — the ``MOD(HASH(key), n) = i``
+predicate reaching the backend, disjoint shard coverage, and the
+capability declarations the planner keys off.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro import Catalog, MemoryTable, Schema
+from repro.adapters.capability import SCAN_ONLY, partition_of
+from repro.adapters.jdbc import JdbcSchema, MiniDb
+from repro.adapters.splunk import SplunkSchema, SplunkStore
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+from repro.runtime.vectorized.partitioned import PartitionedScan
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden_plans"
+
+N_LINEITEMS = 2400
+N_PARTS = 120
+
+
+def build_federated_catalog() -> Catalog:
+    """jdbc + memory + splunk with deterministic data, NULL join keys
+    included (a NULL-keyed probe row must survive partitioning)."""
+    catalog = Catalog()
+
+    db = MiniDb("db")
+    jdbc = JdbcSchema("db", db)
+    catalog.add_schema(jdbc)
+    jdbc.add_jdbc_table(
+        "lineitems", ["part_id", "qty"],
+        [F.bigint(), F.bigint(False)],
+        [(None if i % 97 == 0 else i % N_PARTS, 1 + i % 7)
+         for i in range(N_LINEITEMS)])
+
+    mem = Schema("mem")
+    catalog.add_schema(mem)
+    mem.add_table(MemoryTable(
+        "parts", ["part_id", "category"],
+        [F.bigint(False), F.varchar()],
+        [(i, f"cat{i % 5}") for i in range(N_PARTS)]))
+
+    store = SplunkStore()
+    splunk = SplunkSchema("splunk", store)
+    catalog.add_schema(splunk)
+    splunk.add_splunk_table(
+        "shipments", ["part_id", "carrier"],
+        [F.bigint(False), F.varchar()],
+        [{"part_id": i % N_PARTS, "carrier": f"c{i % 3}"}
+         for i in range(300)])
+    return catalog
+
+
+QUERIES = {
+    "join_on_partition_key": (
+        "SELECT l.part_id, SUM(l.qty) AS total FROM db.lineitems l "
+        "JOIN mem.parts p ON l.part_id = p.part_id GROUP BY l.part_id"),
+    "rollup_after_join": (
+        "SELECT p.category, SUM(l.qty) AS total FROM db.lineitems l "
+        "JOIN mem.parts p ON l.part_id = p.part_id GROUP BY p.category"),
+    "filtered_join": (
+        "SELECT l.part_id, COUNT(*) AS c FROM db.lineitems l "
+        "JOIN mem.parts p ON l.part_id = p.part_id "
+        "WHERE l.qty > 3 GROUP BY l.part_id"),
+    "left_join_null_keys": (
+        "SELECT p.category, COUNT(l.qty) AS c FROM db.lineitems l "
+        "LEFT JOIN mem.parts p ON l.part_id = p.part_id "
+        "GROUP BY p.category"),
+    "three_backend_join": (
+        "SELECT p.category, COUNT(*) AS c FROM splunk.shipments sh "
+        "JOIN mem.parts p ON sh.part_id = p.part_id "
+        "JOIN db.lineitems l ON l.part_id = p.part_id "
+        "GROUP BY p.category"),
+}
+
+_CATALOG = None
+_PLANNERS = {}
+
+
+def _planner(engine="vectorized", parallelism=1, partitioned_scans=True):
+    global _CATALOG
+    if _CATALOG is None:
+        _CATALOG = build_federated_catalog()
+    key = (engine, parallelism, partitioned_scans)
+    if key not in _PLANNERS:
+        _PLANNERS[key] = Planner(FrameworkConfig(
+            _CATALOG, engine=engine, parallelism=parallelism,
+            partitioned_scans=partitioned_scans))
+    return _PLANNERS[key]
+
+
+def _rows(sql, **kwargs):
+    return sorted(_planner(**kwargs).execute(sql).rows, key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Differential: every parallelism × pushdown variant matches the row engine
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("name", sorted(QUERIES))
+@pytest.mark.parametrize("parallelism", [1, 2, 4])
+@pytest.mark.parametrize("partitioned_scans", [True, False])
+def test_federated_differential(name, parallelism, partitioned_scans):
+    sql = QUERIES[name]
+    expected = _rows(sql, engine="row")
+    got = _rows(sql, parallelism=parallelism,
+                partitioned_scans=partitioned_scans)
+    assert got == expected, (
+        f"{name}: parallelism={parallelism} "
+        f"partitioned_scans={partitioned_scans} diverged from row engine")
+
+
+# ---------------------------------------------------------------------------
+# Plan shape: elision on/off
+# ---------------------------------------------------------------------------
+
+def _plan(sql, **kwargs):
+    planner = _planner(**kwargs)
+    return planner.optimize(planner.rel(sql))
+
+
+@pytest.mark.parallel
+def test_partitioned_scans_elide_exchanges():
+    text = _plan(QUERIES["join_on_partition_key"], parallelism=4).explain()
+    assert "PartitionedScan" in text
+    assert "HashExchange" not in text
+
+
+@pytest.mark.parallel
+def test_partitioned_scans_off_restores_shuffle():
+    text = _plan(QUERIES["join_on_partition_key"], parallelism=4,
+                 partitioned_scans=False).explain()
+    assert "HashExchange" in text
+    assert "PartitionedScan" not in text
+
+
+@pytest.mark.parallel
+def test_partitioned_join_shuffles_nothing():
+    res = _planner(parallelism=4).execute(QUERIES["join_on_partition_key"])
+    assert res.context.rows_shuffled == 0
+    res = _planner(parallelism=4, partitioned_scans=False).execute(
+        QUERIES["join_on_partition_key"])
+    assert res.context.rows_shuffled > 0
+
+
+# ---------------------------------------------------------------------------
+# Shard contracts
+# ---------------------------------------------------------------------------
+
+def _find_partitioned_scans(rel):
+    found = [rel] if isinstance(rel, PartitionedScan) else []
+    for child in rel.inputs:
+        found.extend(_find_partitioned_scans(child))
+    return found
+
+
+@pytest.mark.parallel
+def test_jdbc_shard_sql_carries_partition_predicate():
+    plan = _plan(QUERIES["join_on_partition_key"], parallelism=4)
+    scans = _find_partitioned_scans(plan)
+    assert scans, "expected partitioned scans in the federated plan"
+    jdbc_shards = [s for s in scans if "JdbcQuery" in s.explain()]
+    assert jdbc_shards, "expected the jdbc side to partition"
+    shard_sql = jdbc_shards[0].partition_rel(2).explain()
+    assert "MOD" in shard_sql and "HASH" in shard_sql and "= 2" in shard_sql
+
+
+@pytest.mark.parallel
+def test_shards_are_disjoint_and_cover():
+    """Each backend's shards must partition the table: disjoint, and
+    their union is the full scan."""
+    from repro.runtime.operators import ExecutionContext
+    from repro.runtime.vectorized.executor import execute_batches
+
+    plan = _plan(QUERIES["join_on_partition_key"], parallelism=4)
+    for scan in _find_partitioned_scans(plan):
+        shard_rows = []
+        for pid in range(scan.n_partitions):
+            rows = []
+            for batch in execute_batches(scan.partition_rel(pid),
+                                         ExecutionContext()):
+                rows.extend(batch.to_rows())
+            shard_rows.append(rows)
+        whole = []
+        for batch in execute_batches(scan.input, ExecutionContext()):
+            whole.extend(batch.to_rows())
+        combined = [r for rows in shard_rows for r in rows]
+        assert sorted(combined, key=repr) == sorted(whole, key=repr)
+        # keyed shards place each row by the canonical partition function
+        if scan.keys:
+            for pid, rows in enumerate(shard_rows):
+                for row in rows:
+                    values = [row[k] for k in scan.keys]
+                    assert partition_of(values, scan.n_partitions) == pid
+
+
+def test_capability_declarations():
+    """The planner-facing contract: partitionable backends say so, and
+    the catalog fingerprint reflects every declaration."""
+    catalog = build_federated_catalog()
+    jdbc = catalog.resolve_schema(["db"]).table("lineitems")
+    mem = catalog.resolve_schema(["mem"]).table("parts")
+    splunk = catalog.resolve_schema(["splunk"]).table("shipments")
+    assert jdbc.capabilities().supports_partitioned_scan
+    assert jdbc.capabilities().partition_scheme == "hash-mod"
+    assert mem.capabilities().supports_partitioned_scan
+    assert not splunk.capabilities().supports_partitioned_scan
+    assert splunk.capabilities().supports_predicate_pushdown
+    assert SCAN_ONLY.fingerprint() not in (
+        jdbc.capabilities().fingerprint(), mem.capabilities().fingerprint())
+    entries = dict(catalog.capability_fingerprint())
+    assert any("LINEITEMS" in name.upper() for name in entries)
+    assert any("PARTS" in name.upper() for name in entries)
+
+
+# ---------------------------------------------------------------------------
+# Golden snapshots: partition-pushdown plans on the two reference backends
+# ---------------------------------------------------------------------------
+
+GOLDEN_FEDERATED = [
+    # A single-backend aggregate would push whole into jdbc (no scan
+    # left to partition); the federated join keeps the jdbc side a
+    # scan, so the snapshot documents the partition predicate wrapping
+    # the shard's rendered SQL.
+    ("partitioned_scan_jdbc", QUERIES["join_on_partition_key"]),
+    ("partitioned_scan_memory",
+     "SELECT category, COUNT(*) FROM mem.parts GROUP BY category"),
+]
+
+
+@pytest.mark.parametrize(
+    "name,sql", [pytest.param(*case, id=case[0]) for case in GOLDEN_FEDERATED])
+def test_partitioned_plan_matches_golden(name, sql):
+    plan_text = _plan(sql, parallelism=4).explain() + "\n"
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    if os.environ.get("GOLDEN_REGEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(plan_text)
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path.name}; "
+        f"run with GOLDEN_REGEN=1 to create it")
+    assert plan_text == golden_path.read_text(), (
+        f"partitioned plan for {name!r} changed; if intentional, regenerate "
+        f"with GOLDEN_REGEN=1")

@@ -101,10 +101,16 @@ class TestExchangeInsertion:
         assert (self._plan(sql, parallelism=1).explain()
                 == self._plan(sql).explain())
 
+    # The shuffle-machinery tests below pin partitioned_scans=False:
+    # with elision on, a partitionable memory scan is served directly by
+    # the backend and these exchange shapes (the gather-then-shard path
+    # still used for non-partitionable backends) never appear.
+
     def test_two_phase_aggregate(self):
         plan = self._plan(
             "SELECT productId, COUNT(*) AS c, AVG(units) AS a "
-            "FROM s.sales GROUP BY productId", parallelism=4)
+            "FROM s.sales GROUP BY productId", parallelism=4,
+            partitioned_scans=False)
         text = plan.explain()
         exchanges = exchanges_in(plan)
         # partial → HashExchange on the group key → final (+ AVG merge)
@@ -138,7 +144,8 @@ class TestExchangeInsertion:
             "SELECT sa.productId, COUNT(*) FROM s.sales sa "
             "JOIN s.products p ON sa.productId = p.productId "
             "GROUP BY sa.productId",
-            parallelism=4, broadcast_join_threshold=0)
+            parallelism=4, broadcast_join_threshold=0,
+            partitioned_scans=False)
         text = plan.explain()
         assert text.count("VectorizedAggregate") == 1
         # exactly the two join-input exchanges plus the root gather
@@ -149,7 +156,8 @@ class TestExchangeInsertion:
         plan = self._plan(
             "SELECT s1.saleId FROM s.sales s1 "
             "JOIN s.sales s2 ON s1.saleId = s2.saleId",
-            parallelism=4, broadcast_join_threshold=0)
+            parallelism=4, broadcast_join_threshold=0,
+            partitioned_scans=False)
         hashes = [e for e in exchanges_in(plan) if isinstance(e, HashExchange)]
         assert len(hashes) == 2
 
@@ -168,7 +176,8 @@ class TestExchangeInsertion:
         plan = self._plan(
             "SELECT sa.saleId, p.name FROM s.sales sa "
             "FULL JOIN s.products p ON sa.productId = p.productId",
-            parallelism=4, broadcast_join_threshold=1_000_000)
+            parallelism=4, broadcast_join_threshold=1_000_000,
+            partitioned_scans=False)
         exchanges = exchanges_in(plan)
         assert not any(isinstance(e, BroadcastExchange) for e in exchanges)
         assert any(isinstance(e, HashExchange) for e in exchanges)

@@ -158,6 +158,65 @@ def test_planning_fingerprint_separates_configs(hr_catalog):
     assert sorted(row.execute(sql).rows) == sorted(vec.execute(sql).rows)
 
 
+def test_fingerprint_separates_parallelism_and_partitioning(hr_catalog):
+    """Parallelism and the partition-pushdown flag change the physical
+    plan, so each (parallelism, partitioned_scans) combination must get
+    its own cache entry even through one shared LRU."""
+    shared = PlanCache(16)
+    configs = [
+        dict(parallelism=1),
+        dict(parallelism=4),
+        dict(parallelism=4, partitioned_scans=False),
+    ]
+    sql = "SELECT deptno, COUNT(*) FROM hr.emps GROUP BY deptno"
+    rows = None
+    for kwargs in configs:
+        planner = Planner(
+            FrameworkConfig(hr_catalog, engine="vectorized", **kwargs),
+            plan_cache=shared)
+        assert not planner.execute(sql).cache_hit
+        assert planner.execute(sql).cache_hit
+        got = sorted(planner.execute(sql).rows)
+        rows = got if rows is None else rows
+        assert got == rows
+    assert len(shared) == len(configs)
+
+
+def test_fingerprint_tracks_adapter_capabilities():
+    """Two catalogs identical except for a table's declared scan
+    capabilities must not share plans: the capability drives whether
+    the planner elides exchanges, so it is part of the planning key."""
+    def catalog_with(table_cls):
+        catalog = Catalog()
+        s = Schema("s")
+        catalog.add_schema(s)
+        s.add_table(table_cls(
+            "t", ["g", "v"], [F.integer(False), F.integer(False)],
+            [(i % 5, i) for i in range(50)]))
+        return catalog
+
+    class ScanOnlyTable(MemoryTable):
+        def capabilities(self):
+            from repro.adapters.capability import SCAN_ONLY
+            return SCAN_ONLY
+
+    partitionable = catalog_with(MemoryTable)
+    scan_only = catalog_with(ScanOnlyTable)
+    assert (partitionable.capability_fingerprint()
+            != scan_only.capability_fingerprint())
+    shared = PlanCache(16)
+    sql = "SELECT g, SUM(v) FROM s.t GROUP BY g"
+    p1 = Planner(FrameworkConfig(partitionable, engine="vectorized",
+                                 parallelism=4), plan_cache=shared)
+    p2 = Planner(FrameworkConfig(scan_only, engine="vectorized",
+                                 parallelism=4), plan_cache=shared)
+    r1, r2 = p1.execute(sql), p2.execute(sql)
+    assert not r1.cache_hit and not r2.cache_hit
+    assert "PartitionedScan" in r1.plan.explain()
+    assert "PartitionedScan" not in r2.plan.explain()
+    assert sorted(r1.rows) == sorted(r2.rows)
+
+
 def test_cache_disabled_never_reports_hits(hr_catalog):
     planner = _planner(hr_catalog, plan_cache=False)
     sql = "SELECT name FROM hr.emps"
