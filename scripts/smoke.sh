@@ -56,3 +56,12 @@ python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
     tests/test_plan_cache.py \
     tests/test_avatica_server.py \
     benchmarks/bench_server.py
+
+# Resilience gates: the chaos suite (deadlines, retries, breakers,
+# cancellation, leak regressions — each test under a hard wall-clock
+# guard, so a reintroduced hang fails loudly) and the fault-overhead
+# bench (one injected transient shard failure must finish within 3x
+# the fault-free wall clock).
+python -m pytest -q -m "chaos" \
+    tests/test_resilience.py \
+    benchmarks/bench_resilience.py

@@ -1,0 +1,134 @@
+"""Seeded fault injection: the chaos adapter wrapper.
+
+:class:`ChaosTable` wraps any adapter table and injects failures and
+latency into its scans — deterministically, so the resilience test
+suite and ``benchmarks/bench_resilience.py`` replay exactly:
+
+* ``fail_after_rows=k`` raises after the k-th row of a scan (0 fails
+  before the first row);
+* ``fail_times=n`` arms the fault for the first *n* injectable scans
+  and then heals (−1: never heals) — the shape of a transient blip vs
+  a dead backend;
+* ``only_partition=p`` confines the fault to shard *p* of partitioned
+  scans (plain scans stay healthy), the scenario behind per-shard
+  retry and the gather-then-shard breaker fallback;
+* ``latency_per_row`` sleeps on every row — a slow-but-alive backend,
+  the scenario behind statement deadlines;
+* ``error_factory`` builds the injected exception (default
+  :class:`~repro.errors.TransientBackendError`), so permanent-failure
+  and arbitrary-bug propagation are injectable too.
+
+Capabilities, row type and statistics delegate to the wrapped table,
+so a chaos-wrapped table plans identically to the healthy one —
+including partition pushdown, which is the point: the fault surfaces
+*inside* the resilient execution paths, not at planning time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import TransientBackendError
+from ..schema.core import Table
+
+
+def _default_error(table: "ChaosTable", partition_id: Optional[int],
+                   row: int) -> Exception:
+    where = ("scan" if partition_id is None
+             else f"shard {partition_id}")
+    return TransientBackendError(
+        f"chaos: injected failure on {table.name} ({where}) after {row} rows")
+
+
+class ChaosTable(Table):
+    """A fault-injecting proxy around another adapter table."""
+
+    def __init__(self, inner: Table, *,
+                 fail_after_rows: Optional[int] = None,
+                 fail_times: int = 1,
+                 only_partition: Optional[int] = None,
+                 latency_per_row: float = 0.0,
+                 error_factory: Callable[..., Exception] = _default_error,
+                 ) -> None:
+        super().__init__(inner.name, inner.row_type, inner.statistic)
+        self.inner = inner
+        self.fail_after_rows = fail_after_rows
+        self.only_partition = only_partition
+        self.latency_per_row = latency_per_row
+        self.error_factory = error_factory
+        self._lock = threading.Lock()
+        self._faults_left = fail_times
+        #: instrumentation for the chaos suite
+        self.scans_started = 0
+        self.partition_scans_started = 0
+        self.faults_injected = 0
+
+    # -- fault control --------------------------------------------------------
+
+    def heal(self) -> None:
+        """Disarm any remaining faults (the backend recovered)."""
+        with self._lock:
+            self._faults_left = 0
+
+    def arm(self, fail_times: int = 1) -> None:
+        """(Re-)arm the fault for the next ``fail_times`` scans."""
+        with self._lock:
+            self._faults_left = fail_times
+
+    def _claim_fault(self, partition_id: Optional[int]) -> bool:
+        """Atomically consume one armed fault for this scan, if any."""
+        if self.fail_after_rows is None:
+            return False
+        if self.only_partition is not None and partition_id != self.only_partition:
+            return False
+        with self._lock:
+            if self._faults_left == 0:
+                return False
+            if self._faults_left > 0:
+                self._faults_left -= 1
+            return True
+
+    # -- the adapter contract, proxied ---------------------------------------
+
+    def capabilities(self):
+        return self.inner.capabilities()
+
+    def scan(self) -> Iterable[tuple]:
+        with self._lock:
+            self.scans_started += 1
+        return self._inject(self.inner.scan(), None)
+
+    def scan_partition(self, partition_id: int, n_partitions: int,
+                       keys: Sequence[int] = ()) -> Iterable[tuple]:
+        with self._lock:
+            self.partition_scans_started += 1
+        return self._inject(
+            self.inner.scan_partition(partition_id, n_partitions, keys),
+            partition_id)
+
+    def _inject(self, rows: Iterable[tuple],
+                partition_id: Optional[int]) -> Iterator[tuple]:
+        fail_now = self._claim_fault(partition_id)
+        emitted = 0
+        for row in rows:
+            if fail_now and emitted >= self.fail_after_rows:
+                with self._lock:
+                    self.faults_injected += 1
+                raise self.error_factory(self, partition_id, emitted)
+            if self.latency_per_row:
+                time.sleep(self.latency_per_row)
+            emitted += 1
+            yield row
+        if fail_now:
+            # Table shorter than the trigger point: fail at end-of-scan
+            # so an armed fault is never silently skipped.
+            with self._lock:
+                self.faults_injected += 1
+            raise self.error_factory(self, partition_id, emitted)
+
+    def __getattr__(self, name: str) -> Any:
+        # Adapter-specific extras (insert, bucket probes, ...) proxy
+        # through so tests can keep driving the wrapped table.
+        return getattr(self.inner, name)

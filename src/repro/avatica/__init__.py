@@ -54,7 +54,8 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 import weakref
 
-from ..framework import FrameworkConfig, Planner, PreparedPlan
+from .. import errors as _errors
+from ..framework import _UNSET, FrameworkConfig, Planner, PreparedPlan
 from ..schema.core import Catalog
 from .cache import PlanCache, PlanCacheStats, normalize_sql
 from .server import AdmissionSlot, QueryServer
@@ -85,7 +86,16 @@ class ProgrammingError(DatabaseError):
 
 
 class OperationalError(DatabaseError):
-    """Server-side operational failure (e.g. admission rejection)."""
+    """Server-side operational failure: admission rejection, backend
+    failure (transient or permanent), statement deadline exceeded,
+    cancellation, or an open circuit breaker.  The typed cause from
+    :mod:`repro.errors` is preserved as ``__cause__``."""
+
+
+#: Exception shapes that map to :class:`OperationalError` at the
+#: DB-API boundary: the resilience taxonomy plus the stdlib shapes a
+#: real network client raises.
+_OPERATIONAL_SHAPES = (_errors.BackendError, ConnectionError, TimeoutError)
 
 
 class Cursor:
@@ -104,9 +114,12 @@ class Cursor:
         self.last_plan = None
         #: True when the last statement's plan came from the plan cache
         self.cache_hit = False
+        #: server-side id of the executing statement (for ``kill``)
+        self.statement_id: Optional[int] = None
         self._closed = False
         self._stream: Optional[Iterator[tuple]] = None
         self._slot: Optional[AdmissionSlot] = None
+        self._context = None              # ExecutionContext of the statement
         self._pending: List[tuple] = []   # pulled but not yet dispensed
         self._pending_pos = 0
         self._dispensed = 0               # rows already handed out
@@ -114,10 +127,13 @@ class Cursor:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+    def execute(self, sql: str, parameters: Sequence[Any] = (),
+                timeout: Any = _UNSET) -> "Cursor":
+        """Execute ``sql``; ``timeout`` (seconds) overrides the
+        configured per-statement deadline for this statement only."""
         self._check_open()
         prepared, hit = self.connection._prepare(sql)
-        self._start(prepared, parameters, cache_hit=hit)
+        self._start(prepared, parameters, cache_hit=hit, timeout=timeout)
         return self
 
     def executemany(self, sql: str, seq_of_parameters) -> "Cursor":
@@ -126,7 +142,7 @@ class Cursor:
         return self
 
     def _start(self, prepared: PreparedPlan, parameters: Sequence[Any],
-               cache_hit: bool) -> None:
+               cache_hit: bool, timeout: Any = _UNSET) -> None:
         """Bind a prepared plan and begin streaming (admission-gated)."""
         self._finish()
         self._pending = []
@@ -135,17 +151,34 @@ class Cursor:
         self._rowcount = -1
         slot = self.connection._server.admit()
         try:
-            running = self.connection._planner.bind(prepared, parameters)
+            running = self.connection._planner.bind(prepared, parameters,
+                                                    timeout=timeout)
         except BaseException:
             slot.release()
             raise
         self._slot = slot
+        self._context = running.context
+        slot.context = running.context
+        self.statement_id = self.connection._server._register_statement(
+            running.context)
         self._stream = running.rows
         self.cache_hit = cache_hit
         self.last_plan = prepared.plan
         self.description = [
             (name, None, None, None, None, None, None)
             for name in prepared.columns]
+
+    def cancel(self) -> None:
+        """Cancel the executing statement (thread-safe, idempotent).
+
+        Every scan and scheduler poll loop watches the statement's
+        cancellation flag, so worker threads wind down promptly; the
+        next fetch on this cursor raises :class:`OperationalError`
+        (from :class:`repro.errors.StatementCancelled`).
+        """
+        ctx = self._context
+        if ctx is not None:
+            ctx.cancel()
 
     # -- fetching -------------------------------------------------------------
 
@@ -166,6 +199,9 @@ class Cursor:
         except Error:
             self._finish()
             raise
+        except _OPERATIONAL_SHAPES as exc:
+            self._finish()
+            raise OperationalError(str(exc)) from exc
         except Exception as exc:
             self._finish()
             raise ProgrammingError(str(exc)) from exc
@@ -195,6 +231,9 @@ class Cursor:
             except Error:
                 self._finish()
                 raise
+            except _OPERATIONAL_SHAPES as exc:
+                self._finish()
+                raise OperationalError(str(exc)) from exc
             except Exception as exc:
                 self._finish()
                 raise ProgrammingError(str(exc)) from exc
@@ -239,15 +278,33 @@ class Cursor:
 
     def _finish(self) -> None:
         """Stop the stream (cancelling any parallel workers below it)
-        and release the admission slot."""
+        and release the admission slot.
+
+        Teardown order matters for the no-leak guarantees: set the
+        statement's cancellation flag first so every worker thread
+        winds down, then close the stream (whose finaliser joins the
+        parallel region, bounded), and release the admission slot
+        *unconditionally* — a failure while closing must never strand
+        the slot."""
         stream, self._stream = self._stream, None
-        if stream is not None:
-            close = getattr(stream, "close", None)
-            if close is not None:
-                close()
-        slot, self._slot = self._slot, None
-        if slot is not None:
-            slot.release()
+        ctx, self._context = self._context, None
+        statement_id, self.statement_id = self.statement_id, None
+        if ctx is not None:
+            # Not a user cancel: just stop any workers still producing.
+            ctx.cancel_event.set()
+        try:
+            if stream is not None:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+        except Exception:
+            pass  # teardown must not mask the caller's exception
+        finally:
+            slot, self._slot = self._slot, None
+            if slot is not None:
+                slot.release()
+            if statement_id is not None:
+                self.connection._server._finish_statement(statement_id, ctx)
 
     def close(self) -> None:
         self._finish()
@@ -359,7 +416,10 @@ class Connection:
                 # private per-connection cache (explicit plan_cache=True
                 # opt-in still gets one).
                 config.plan_cache = False
-        self._planner = Planner(config, plan_cache=shared_cache)
+        # Breakers are shared server-wide (like the plan cache): a
+        # backend that trips open fails fast for every connection.
+        self._planner = Planner(config, plan_cache=shared_cache,
+                                breakers=_server.breakers)
         self._closed = False
         self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
 

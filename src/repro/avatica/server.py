@@ -25,24 +25,40 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Optional
 
+from ..adapters.resilience import BreakerRegistry
 from ..schema.core import Catalog
 from .cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 
 
 class AdmissionSlot:
-    """One admitted statement; release exactly once (idempotent)."""
+    """One admitted statement; release exactly once (idempotent).
 
-    __slots__ = ("_server", "_released")
+    ``context`` carries the statement's ExecutionContext once bound, so
+    the GC safety net can stop its workers too.  ``__del__`` releases
+    the slot if the owner was dropped without closing — an abandoned
+    cursor must never shrink the server's admission capacity."""
+
+    __slots__ = ("_server", "_released", "context", "__weakref__")
 
     def __init__(self, server: "QueryServer") -> None:
         self._server = server
         self._released = False
+        self.context = None
 
     def release(self) -> None:
         if self._released:
             return
         self._released = True
+        ctx, self.context = self.context, None
+        if ctx is not None:
+            ctx.cancel_event.set()
         self._server._release()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.release()
+        except Exception:
+            pass
 
 
 class QueryServer:
@@ -59,6 +75,14 @@ class QueryServer:
         self.plan_cache: Optional[PlanCache] = (
             PlanCache(plan_cache_size) if plan_cache_size > 0 else None)
         self.default_planner_options = default_planner_options
+        #: per-backend circuit breakers shared by every connection of
+        #: this server (like the plan cache): one backend tripping its
+        #: breaker fails fast for all tenants until it recovers.
+        self.breakers = BreakerRegistry(
+            failure_threshold=default_planner_options.get(
+                "breaker_failure_threshold", 5),
+            recovery_timeout=default_planner_options.get(
+                "breaker_recovery_timeout", 30.0))
         self._tenants: Dict[str, Catalog] = {}
         self._semaphore = (threading.Semaphore(max_concurrent_statements)
                            if max_concurrent_statements else None)
@@ -68,6 +92,13 @@ class QueryServer:
         self._admitted = 0
         self._rejected = 0
         self._connections_opened = 0
+        self._statements: Dict[int, Any] = {}  # id -> ExecutionContext
+        self._next_statement_id = 0
+        self._resilience_totals: Dict[str, int] = {
+            "retries": 0, "deadline_misses": 0, "breaker_trips": 0,
+            "breaker_rejections": 0, "shard_fallbacks": 0,
+            "worker_leaks": 0, "cancelled": 0,
+        }
 
     # -- tenants --------------------------------------------------------------
 
@@ -137,6 +168,58 @@ class QueryServer:
         if self._semaphore is not None:
             self._semaphore.release()
 
+    # -- statement registry (server-side cancellation) -------------------------
+
+    def _register_statement(self, context: Any) -> int:
+        """Track an executing statement's context; returns its id."""
+        with self._lock:
+            self._next_statement_id += 1
+            statement_id = self._next_statement_id
+            self._statements[statement_id] = context
+        return statement_id
+
+    def _finish_statement(self, statement_id: int,
+                          context: Any = None) -> None:
+        """Drop a finished statement and fold its resilience counters
+        into the server-lifetime totals."""
+        with self._lock:
+            ctx = self._statements.pop(statement_id, None)
+        ctx = ctx if ctx is not None else context
+        if ctx is None:
+            return
+        snapshot = ctx.resilience_snapshot()
+        with self._lock:
+            for key, value in snapshot.items():
+                if key in self._resilience_totals:
+                    self._resilience_totals[key] += value
+
+    def statements(self) -> Dict[int, Dict[str, int]]:
+        """Live statements: id -> current resilience counters."""
+        with self._lock:
+            live = dict(self._statements)
+        return {sid: ctx.resilience_snapshot() for sid, ctx in live.items()}
+
+    def cancel_statement(self, statement_id: int) -> bool:
+        """Server-side kill: cancel one executing statement by id.
+
+        Returns True if the statement was live.  Its worker threads
+        wind down at their next checkpoint and the owning cursor's next
+        fetch raises ``OperationalError``."""
+        with self._lock:
+            ctx = self._statements.get(statement_id)
+        if ctx is None:
+            return False
+        ctx.cancel()
+        return True
+
+    def cancel_all(self) -> int:
+        """Cancel every executing statement; returns how many."""
+        with self._lock:
+            live = list(self._statements.values())
+        for ctx in live:
+            ctx.cancel()
+        return len(live)
+
     # -- observability --------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
@@ -150,8 +233,11 @@ class QueryServer:
                     "admitted": self._admitted,
                     "rejected": self._rejected,
                     "max_concurrent": self.max_concurrent_statements,
+                    "live": len(self._statements),
                 },
+                "resilience": dict(self._resilience_totals),
             }
         out["plan_cache"] = (self.plan_cache.stats.snapshot()
                              if self.plan_cache is not None else None)
+        out["breakers"] = self.breakers.snapshot()
         return out

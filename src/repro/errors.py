@@ -1,0 +1,136 @@
+"""The typed error taxonomy of the resilience layer.
+
+Federated execution fails in qualitatively different ways, and the
+serving layer must react differently to each:
+
+* :class:`TransientBackendError` — the backend hiccupped (connection
+  reset, shard briefly unavailable); the scan wrappers retry it with
+  capped exponential backoff.
+* :class:`PermanentBackendError` — the backend rejected the request
+  (bad credentials, missing collection); retrying cannot help, the
+  statement fails immediately.
+* :class:`DeadlineExceeded` — the statement's deadline passed; raised
+  by the scheduler's poll loops and the scan checkpoints so a stuck
+  backend becomes a typed failure *within the deadline*, never a hang.
+* :class:`StatementCancelled` — :meth:`Cursor.cancel` or a server-side
+  kill stopped the statement.
+* :class:`CircuitOpenError` — the backend's circuit breaker is open
+  (it failed repeatedly and the recovery timeout has not elapsed);
+  the statement fails fast instead of waiting on a known-dead source.
+
+All of these map to ``repro.avatica.OperationalError`` at the DB-API
+boundary; inside the engine they stay distinct so retry/breaker logic
+can classify without string matching.  Exceptions that are none of
+these (a ``ValueError`` from a bug, say) propagate unchanged — the
+nested-exchange error-propagation tests pin that down.
+
+:class:`Deadline` is the carrier: created once per statement from
+``FrameworkConfig.statement_timeout`` (or a per-call override), stored
+on :class:`~repro.runtime.operators.ExecutionContext`, and consulted
+everywhere execution can block.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class BackendError(Exception):
+    """Base of the resilience taxonomy.
+
+    ``retryable`` is the classification the retry wrappers consult;
+    subclasses fix it, so ``except``-free code can also branch on it.
+    """
+
+    retryable = False
+
+
+class TransientBackendError(BackendError):
+    """A failure worth retrying (flaky connection, shard blip)."""
+
+    retryable = True
+
+
+class PermanentBackendError(BackendError):
+    """A failure no retry can fix (bad request, missing object)."""
+
+    retryable = False
+
+
+class DeadlineExceeded(BackendError):
+    """The statement's deadline passed before execution finished."""
+
+    retryable = False
+
+
+class StatementCancelled(BackendError):
+    """The statement was cancelled (cursor/server-side kill)."""
+
+    retryable = False
+
+
+class CircuitOpenError(BackendError):
+    """The backend's circuit breaker is open: fail fast, don't wait."""
+
+    retryable = False
+
+
+#: Taxonomy members describing the *statement* (not the backend): they
+#: must never trip a circuit breaker or be retried.
+CONTROL_ERRORS = (DeadlineExceeded, StatementCancelled, CircuitOpenError)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Should a scan retry after ``exc``?
+
+    Typed :class:`TransientBackendError` (and subclasses) retry; so do
+    the stdlib shapes a real network client raises for transient
+    conditions (``ConnectionError``, ``TimeoutError``).  Everything
+    else — permanent backend errors, control errors, plain bugs —
+    propagates on first occurrence.
+    """
+    if isinstance(exc, BackendError):
+        return exc.retryable
+    return isinstance(exc, (ConnectionError, TimeoutError))
+
+
+def is_backend_fault(exc: BaseException) -> bool:
+    """Does ``exc`` indict the *backend* (circuit-breaker accounting)?
+
+    Control errors describe the statement, not the source, and bugs
+    (arbitrary exceptions) indict neither — only genuine backend
+    failures, transient or permanent, count against a breaker.
+    """
+    if isinstance(exc, CONTROL_ERRORS):
+        return False
+    return isinstance(exc, (BackendError, ConnectionError, TimeoutError, OSError))
+
+
+class Deadline:
+    """A per-statement time budget, checked wherever execution blocks.
+
+    Monotonic-clock based; ``Deadline.after(None)`` is ``None`` (no
+    deadline), so callers carry ``Optional[Deadline]`` and skip the
+    check entirely in the unbounded case.
+    """
+
+    __slots__ = ("timeout", "expires_at")
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+        self.expires_at = time.monotonic() + timeout
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> Optional["Deadline"]:
+        return None if seconds is None else cls(seconds)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(timeout={self.timeout}, remaining={self.remaining():.3f})"

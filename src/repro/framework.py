@@ -53,8 +53,10 @@ from .core.rules import (
     reduce_expression_rules,
     standard_logical_rules,
 )
+from .adapters.resilience import BreakerRegistry, ResilienceContext, RetryPolicy
 from .core.traits import Convention, RelCollation, RelDistribution, RelTraitSet
 from .core.volcano import CannotPlanError, VolcanoPlanner
+from .errors import Deadline
 from .runtime.nodes import enumerable_rules
 from .runtime.operators import ExecutionContext, execute
 from .runtime.vectorized import vectorized_rules
@@ -62,6 +64,10 @@ from .runtime.vectorized.parallel_rules import DEFAULT_BROADCAST_THRESHOLD
 from .schema.core import Catalog
 from .sql.parser import parse
 from .sql.to_rel import SqlToRelConverter
+
+#: sentinel distinguishing "no per-call timeout given" from an
+#: explicit ``timeout=None`` (which means "unbounded, override config")
+_UNSET = object()
 
 
 @dataclass
@@ -116,6 +122,39 @@ class FrameworkConfig:
     #: number of plans the LRU retains (per planner, or per server tenant
     #: when the Avatica server shares one cache across connections)
     plan_cache_size: int = 128
+    #: per-statement deadline in seconds (None: unbounded).  Carried on
+    #: the :class:`~repro.runtime.operators.ExecutionContext` as a
+    #: :class:`~repro.errors.Deadline` and checked by every scan
+    #: iterator and scheduler poll loop, so a stuck or slow backend
+    #: fails with a typed :class:`~repro.errors.DeadlineExceeded`
+    #: (``OperationalError`` at the DB-API boundary) within the
+    #: deadline instead of hanging.  Overridable per statement via
+    #: ``Planner.bind(..., timeout=...)`` / ``Cursor.execute(...,
+    #: timeout=...)``; settable fleet-wide through
+    #: ``QueryServer(statement_timeout=...)``.
+    statement_timeout: Optional[float] = None
+    #: total attempts (first try included) a transient backend scan
+    #: failure is given before the statement fails; 1 disables retry.
+    #: Only :class:`~repro.errors.TransientBackendError` (and stdlib
+    #: ``ConnectionError``/``TimeoutError``) shapes retry — permanent
+    #: errors and plain bugs propagate on first occurrence.  Shards of
+    #: a partitioned federated scan retry individually: only the failed
+    #: shard's subtree is re-run.
+    scan_retry_attempts: int = 3
+    #: base/cap of the capped exponential backoff between retries
+    #: (attempt n sleeps ~``min(cap, base * 2**(n-1))``, scaled by
+    #: deterministic jitter so runs replay; the sleep never exceeds
+    #: the statement's remaining deadline)
+    scan_retry_backoff: float = 0.05
+    scan_retry_backoff_max: float = 1.0
+    #: consecutive backend failures that trip its circuit breaker
+    #: open (fail fast with :class:`~repro.errors.CircuitOpenError`),
+    #: and how long until a half-open probe is admitted.  Breaker
+    #: state lives on the planner (or is shared server-wide), so it
+    #: spans statements; a backend whose *partitioned* serving is
+    #: circuit-open degrades to the gather-then-shard baseline.
+    breaker_failure_threshold: int = 5
+    breaker_recovery_timeout: float = 30.0
 
 
 class Planner:
@@ -136,7 +175,8 @@ class Planner:
     """
 
     def __init__(self, config: FrameworkConfig,
-                 plan_cache: Optional[Any] = None) -> None:
+                 plan_cache: Optional[Any] = None,
+                 breakers: Optional[Any] = None) -> None:
         if config.engine not in ("row", "vectorized"):
             raise ValueError(
                 f"unknown engine {config.engine!r}; expected 'row' or 'vectorized'")
@@ -147,6 +187,14 @@ class Planner:
             raise ValueError(
                 "parallelism > 1 requires engine='vectorized' (the row "
                 "engine has no partitioned execution path)")
+        if config.statement_timeout is not None and config.statement_timeout <= 0:
+            raise ValueError(
+                f"statement_timeout must be > 0 or None, "
+                f"got {config.statement_timeout}")
+        if config.scan_retry_attempts < 1:
+            raise ValueError(
+                f"scan_retry_attempts must be >= 1, "
+                f"got {config.scan_retry_attempts}")
         self.config = config
         self.catalog = config.catalog
         self.converter = SqlToRelConverter(self.catalog)
@@ -156,6 +204,12 @@ class Planner:
             plan_cache = PlanCache(config.plan_cache_size)
         #: the (possibly shared) plan cache; None when caching is off
         self.plan_cache = plan_cache
+        if breakers is None:
+            breakers = BreakerRegistry(config.breaker_failure_threshold,
+                                       config.breaker_recovery_timeout)
+        #: per-backend circuit breakers — statement-spanning state,
+        #: shared server-wide when opened through a QueryServer
+        self.breakers = breakers
         self._seen_catalog_version = self.catalog.version
 
     # -- stage 1: parse ---------------------------------------------------
@@ -330,15 +384,35 @@ class Planner:
                             parameter_count=n_params, key=key)
 
     # -- stage 5: bind + execute ----------------------------------------------
+    def execution_context(self, parameters: Sequence[Any] = (),
+                          timeout: Any = _UNSET) -> ExecutionContext:
+        """A fresh per-statement context: parameters, the statement's
+        deadline (``timeout`` overrides ``config.statement_timeout``),
+        and the resilience configuration (retry policy + the planner's
+        statement-spanning breaker registry)."""
+        seconds = (self.config.statement_timeout if timeout is _UNSET
+                   else timeout)
+        c = self.config
+        resilience = ResilienceContext(
+            policy=RetryPolicy(max_attempts=c.scan_retry_attempts,
+                               base_delay=c.scan_retry_backoff,
+                               max_delay=c.scan_retry_backoff_max),
+            breakers=self.breakers)
+        return ExecutionContext(parameters, deadline=Deadline.after(seconds),
+                                resilience=resilience)
+
     def bind(self, prepared: "PreparedPlan",
-             parameters: Sequence[Any] = ()) -> "RunningStatement":
+             parameters: Sequence[Any] = (),
+             timeout: Any = _UNSET) -> "RunningStatement":
         """Bind parameters and start executing a prepared plan.
 
         Rows stream on demand from the executor (the vectorized engine
         yields them batch by batch), so a consumer paging with
-        ``fetchmany`` never materialises the full result.
+        ``fetchmany`` never materialises the full result.  ``timeout``
+        (seconds, or None for unbounded) overrides the configured
+        ``statement_timeout`` for this statement only.
         """
-        ctx = ExecutionContext(parameters)
+        ctx = self.execution_context(parameters, timeout)
         prepared.executions += 1
         return RunningStatement(prepared, ctx, execute(prepared.plan, ctx))
 
@@ -358,7 +432,7 @@ class Planner:
             prepared, hit = self._prepare(rel_or_sql)
             return self.execute_plan(prepared, parameters, cache_hit=hit)
         physical = self.optimize(rel_or_sql)
-        ctx = ExecutionContext(parameters)
+        ctx = self.execution_context(parameters)
         rows = list(execute(physical, ctx))
         return Result(rows, list(physical.row_type.field_names), physical, ctx)
 

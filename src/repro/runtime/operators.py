@@ -40,12 +40,17 @@ from ..core.rel import (
 )
 from ..core.rex import RexNode, RexOver, RexSubQuery, SqlKind
 from ..core.rex_eval import EvalContext, RexExecutionError, evaluate
+from ..errors import Deadline, DeadlineExceeded, StatementCancelled
 
 
 class ExecutionContext:
-    """Runtime state: statement parameters and execution statistics."""
+    """Runtime state: statement parameters, the statement's deadline
+    and cancellation flag, resilience configuration, and execution
+    statistics (including the resilience counters)."""
 
-    def __init__(self, parameters: Sequence[Any] = ()) -> None:
+    def __init__(self, parameters: Sequence[Any] = (),
+                 deadline: Optional[Deadline] = None,
+                 resilience: Any = None) -> None:
         self.parameters = list(parameters)
         self.rows_scanned = 0
         self.rows_emitted = 0
@@ -53,12 +58,95 @@ class ExecutionContext:
         #: partition-pushdown scans elide exchanges, so this is the
         #: federated benchmark's shuffle-volume metric
         self.rows_shuffled = 0
+        #: the statement's time budget (None: unbounded); checked by
+        #: scan iterators and the parallel scheduler's poll loops
+        self.deadline = deadline
+        #: set to stop the statement: every scan and scheduler poll
+        #: loop watches it, so workers never outlive a cancel
+        self.cancel_event = _threading.Event()
+        #: True when the *user* (cursor/server kill) cancelled, as
+        #: opposed to teardown setting the event during normal close
+        self.user_cancelled = False
+        #: per-statement :class:`~repro.adapters.resilience.ResilienceContext`
+        #: (retry policy + breaker registry); None disables retries
+        self.resilience = resilience
+        #: resilience counters (see :meth:`resilience_snapshot`)
+        self.retries = 0
+        self.deadline_misses = 0
+        self.breaker_trips = 0
+        self.breaker_rejections = 0
+        self.shard_fallbacks = 0
+        self.worker_leaks = 0
+        self._deadline_noted = False
         self._shuffle_lock = _threading.Lock()
 
     def add_shuffled(self, n: int) -> None:
         """Thread-safe: exchange producers run on worker threads."""
         with self._shuffle_lock:
             self.rows_shuffled += n
+
+    # -- cancellation + deadline ---------------------------------------------
+
+    def cancel(self) -> None:
+        """Cancel the statement: scans and scheduler loops raise
+        :class:`~repro.errors.StatementCancelled` at their next check
+        and every worker thread winds down."""
+        self.user_cancelled = True
+        self.cancel_event.set()
+
+    def checkpoint(self) -> None:
+        """Raise the applicable control error if the statement must
+        stop — called from scan iterators, retry backoff sleeps and
+        the scheduler's queue poll loops."""
+        if self.user_cancelled:
+            raise StatementCancelled("statement cancelled")
+        d = self.deadline
+        if d is not None and d.expired():
+            self.note_deadline_miss()
+            raise DeadlineExceeded(
+                f"statement deadline of {d.timeout:.3f}s exceeded")
+
+    # -- resilience counters (thread-safe: workers report in) -----------------
+
+    def note_retry(self) -> None:
+        with self._shuffle_lock:
+            self.retries += 1
+
+    def note_deadline_miss(self) -> None:
+        """Counted once per statement, however many checks observe it."""
+        with self._shuffle_lock:
+            if not self._deadline_noted:
+                self._deadline_noted = True
+                self.deadline_misses += 1
+
+    def note_breaker_trip(self) -> None:
+        with self._shuffle_lock:
+            self.breaker_trips += 1
+
+    def note_breaker_rejection(self) -> None:
+        with self._shuffle_lock:
+            self.breaker_rejections += 1
+
+    def note_shard_fallback(self) -> None:
+        with self._shuffle_lock:
+            self.shard_fallbacks += 1
+
+    def note_worker_leak(self, n: int) -> None:
+        with self._shuffle_lock:
+            self.worker_leaks += n
+
+    def resilience_snapshot(self) -> Dict[str, int]:
+        """The statement's resilience counters, for server stats."""
+        with self._shuffle_lock:
+            return {
+                "retries": self.retries,
+                "deadline_misses": self.deadline_misses,
+                "breaker_trips": self.breaker_trips,
+                "breaker_rejections": self.breaker_rejections,
+                "shard_fallbacks": self.shard_fallbacks,
+                "worker_leaks": self.worker_leaks,
+                "cancelled": 1 if self.user_cancelled else 0,
+            }
 
     def eval_context(self, correlations: Optional[Dict[str, tuple]] = None) -> EvalContext:
         return EvalContext(self.parameters, correlations, self._run_subquery)
@@ -146,9 +234,8 @@ def _scan(rel: TableScan, ctx: ExecutionContext) -> Iterator[tuple]:
     source = rel.table.source
     if source is None:
         raise ValueError(f"table {rel.table.name} has no backing source")
-    for row in source.scan():
-        ctx.rows_scanned += 1
-        yield tuple(row)
+    from ..adapters.resilience import resilient_rows
+    return resilient_rows(ctx, source, source.scan)
 
 
 def _filter(rel: Filter, ctx: ExecutionContext) -> Iterator[tuple]:

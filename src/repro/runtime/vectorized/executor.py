@@ -123,14 +123,9 @@ def _scan(rel: VectorizedTableScan, ctx: ExecutionContext,
     source = rel.table.source
     if source is None:
         raise ValueError(f"table {rel.table.name} has no backing source")
-
-    def counted_rows():
-        for row in source.scan():
-            ctx.rows_scanned += 1
-            yield tuple(row)
-
-    return batches_from_rows(counted_rows(), rel.row_type.field_count,
-                             batch_size)
+    from ...adapters.resilience import resilient_rows
+    return batches_from_rows(resilient_rows(ctx, source, source.scan),
+                             rel.row_type.field_count, batch_size)
 
 
 def _filter(rel: VectorizedFilter, ctx: ExecutionContext,

@@ -22,7 +22,20 @@ each exchange edge is driven by worker threads from the region's pool.
 Batches are immutable once emitted, so a broadcast batch is shared,
 not copied.  Errors propagate through the queues and cancel the whole
 region; abandoning the gather iterator (e.g. a LIMIT upstream) cancels
-it too, so no worker outlives its consumer.
+it too, and :meth:`Region.shutdown` joins its workers with a bounded
+timeout, so no worker outlives its consumer.
+
+Resilience: every queue poll loop checks the statement's deadline and
+cancellation flag (:meth:`ExecutionContext.checkpoint`), so a stuck
+producer turns into a typed :class:`~repro.errors.DeadlineExceeded` at
+the consumer within the deadline instead of a hang.  Adapter-served
+shards (:class:`~.partitioned.PartitionedScan`) retry transient
+failures per shard — only the failed shard's ``partition_rel(p)``
+subtree is re-run — under the statement's
+:class:`~repro.adapters.resilience.RetryPolicy`, and a backend whose
+``"partition"``-scope circuit breaker is open degrades to the
+gather-then-shard baseline (serial template scan re-sharded in-engine)
+instead of failing outright.
 
 Worker threads parallelise across cores only on GIL-free builds;
 under the GIL the scheduler still provides the partitioned execution
@@ -34,8 +47,10 @@ from __future__ import annotations
 import heapq
 import queue
 import threading
+import time
 from typing import Callable, Iterator, List, Optional, Sequence
 
+from ...adapters.resilience import backoff_sleep, handle_scan_failure
 from ...core.rel import RelNode
 from ..operators import ExecutionContext, row_sort_key
 from .batch import ColumnBatch
@@ -58,13 +73,20 @@ _BATCH, _ERROR, _EOS = 0, 1, 2
 #: Seconds between cancellation checks while blocked on a queue.
 _POLL = 0.05
 
+#: Seconds :meth:`Region.shutdown` waits for its workers to finish.
+#: A worker still alive past this is stuck inside a blocking backend
+#: call we cannot interrupt; it is daemonic, counted on the context
+#: as a leak, and abandoned rather than wedging the statement.
+SHUTDOWN_JOIN_TIMEOUT = 2.0
+
 
 class Region:
     """One parallel region: the workers feeding a single gather."""
 
-    def __init__(self) -> None:
+    def __init__(self, ctx: Optional[ExecutionContext] = None) -> None:
         self.cancel = threading.Event()
         self.threads: List[threading.Thread] = []
+        self.ctx = ctx
 
     def spawn(self, fn: Callable, *args) -> None:
         t = threading.Thread(target=fn, args=args, daemon=True,
@@ -72,13 +94,38 @@ class Region:
         self.threads.append(t)
         t.start()
 
-    def shutdown(self) -> None:
+    def should_stop(self) -> bool:
+        """Workers poll this: region cancelled, statement cancelled,
+        or statement deadline expired."""
+        if self.cancel.is_set():
+            return True
+        ctx = self.ctx
+        if ctx is not None:
+            if ctx.cancel_event.is_set():
+                return True
+            d = ctx.deadline
+            if d is not None and d.expired():
+                return True
+        return False
+
+    def shutdown(self, join_timeout: float = SHUTDOWN_JOIN_TIMEOUT) -> int:
+        """Cancel and join every worker (bounded); returns the number
+        of workers that failed to stop within the budget."""
         self.cancel.set()
+        budget_end = time.monotonic() + join_timeout
+        leaked = 0
+        for t in self.threads:
+            t.join(max(0.0, budget_end - time.monotonic()))
+            if t.is_alive():
+                leaked += 1
+        if leaked and self.ctx is not None:
+            self.ctx.note_worker_leak(leaked)
+        return leaked
 
 
 def _put(q: "queue.Queue", item, region: Region) -> bool:
-    """Cancellation-aware blocking put; False if the region was cancelled."""
-    while not region.cancel.is_set():
+    """Stop-aware blocking put; False if the region must stop."""
+    while not region.should_stop():
         try:
             q.put(item, timeout=_POLL)
             return True
@@ -89,7 +136,12 @@ def _put(q: "queue.Queue", item, region: Region) -> bool:
 
 def _iter_queue(q: "queue.Queue", n_producers: int,
                 region: Region) -> Iterator[ColumnBatch]:
-    """Drain a queue fed by ``n_producers`` workers, re-raising errors."""
+    """Drain a queue fed by ``n_producers`` workers, re-raising errors.
+
+    While blocked, checks the statement's deadline and cancellation
+    flag: a producer that never delivers becomes a typed control error
+    here (at the consumer) within the deadline, never a silent hang or
+    ``queue.Empty`` starvation."""
     done = 0
     while done < n_producers:
         try:
@@ -97,6 +149,8 @@ def _iter_queue(q: "queue.Queue", n_producers: int,
         except queue.Empty:
             if region.cancel.is_set():
                 return
+            if region.ctx is not None:
+                region.ctx.checkpoint()
             continue
         if tag == _EOS:
             done += 1
@@ -214,7 +268,25 @@ def partition_streams(rel: RelNode, ctx: ExecutionContext, batch_size: int,
         # Elided exchange: the backend serves each shard directly, so
         # the partition streams exist without any inter-worker edge
         # (and contribute nothing to ``rows_shuffled``).
-        return [execute_batches(rel.partition_rel(p), ctx, batch_size)
+        res = getattr(ctx, "resilience", None)
+        breaker = (res.breaker_for(rel.backend_key(), "partition")
+                   if res is not None else None)
+        if breaker is not None and not breaker.allow():
+            # Partitioned serving is circuit-open for this backend:
+            # degrade to the gather-then-shard baseline (serial
+            # template scan, re-sharded in-engine) — plain scans may
+            # well be healthy when shard serving is not.
+            ctx.note_breaker_rejection()
+            ctx.note_shard_fallback()
+            queues = [queue.Queue(QUEUE_CAP) for _ in range(rel.n_partitions)]
+            stream = _count_shuffled(
+                execute_batches(rel.input, ctx, batch_size), ctx)
+            if rel.keys:
+                region.spawn(_hash_split, stream, queues, rel.keys, region)
+            else:
+                region.spawn(_round_robin, stream, queues, 0, region)
+            return [_iter_queue(q, 1, region) for q in queues]
+        return [_shard_stream(rel, p, ctx, batch_size, breaker)
                 for p in range(rel.n_partitions)]
 
     if isinstance(rel, HashExchange):
@@ -259,6 +331,51 @@ def partition_streams(rel: RelNode, ctx: ExecutionContext, batch_size: int,
     return out
 
 
+def _shard_stream(scan: PartitionedScan, p: int, ctx: ExecutionContext,
+                  batch_size: int, breaker) -> Iterator[ColumnBatch]:
+    """One adapter-served shard, with per-shard transient retry.
+
+    A transient failure re-runs only this shard's ``partition_rel(p)``
+    subtree (never the sibling shards or the whole region), skipping
+    the rows already emitted so downstream operators see each row
+    exactly once.  Success and failure are charged to the backend's
+    ``"partition"``-scope circuit breaker."""
+    from .executor import execute_batches
+
+    attempt = 1
+    emitted = 0
+    while True:
+        try:
+            ctx.checkpoint()
+            skip = emitted
+            for batch in execute_batches(scan.partition_rel(p), ctx,
+                                         batch_size):
+                compacted = batch.compact()
+                n = compacted.num_rows
+                if skip:
+                    if n <= skip:
+                        skip -= n
+                        continue
+                    compacted = ColumnBatch(
+                        [col[skip:] for col in compacted.columns], n - skip)
+                    n -= skip
+                    skip = 0
+                if n == 0:
+                    continue
+                ctx.checkpoint()
+                emitted += n
+                yield compacted
+            if breaker is not None:
+                breaker.record_success()
+            return
+        except BaseException as exc:
+            if isinstance(exc, GeneratorExit):
+                raise
+            delay = handle_scan_failure(ctx, exc, breaker, attempt, token=p)
+            backoff_sleep(ctx, delay)
+            attempt += 1
+
+
 def _rows_of(batches: Iterator[ColumnBatch]) -> Iterator[tuple]:
     for batch in batches:
         yield from batch.to_rows()
@@ -280,7 +397,7 @@ def gather_batches(exch: SingletonExchange, ctx: ExecutionContext,
                    batch_size: int) -> Iterator[ColumnBatch]:
     """Execute a gather: run the parallel region below ``exch`` and
     merge its partition streams into one."""
-    region = Region()
+    region = Region(ctx)
     try:
         streams = partition_streams(exch.input, ctx, batch_size, region)
         if len(streams) == 1:

@@ -72,8 +72,21 @@ class PartitionedTableScan(TableScan):
                 ("keys", list(self.keys))]
 
     def execute_rows(self, ctx) -> Iterator[tuple]:
+        # Cancellation/deadline checks only: *retry* of a failed shard
+        # happens one level up, where the scheduler re-runs the whole
+        # ``partition_rel(p)`` subtree (so pushed-down filters and
+        # projections replay too) — retrying here as well would nest.
+        from ...adapters.resilience import DEADLINE_CHECK_EVERY
+        cancel_event = ctx.cancel_event
+        deadline = ctx.deadline
+        until_check = DEADLINE_CHECK_EVERY
         for row in self.table.source.scan_partition(
                 self.partition_id, self.n_partitions, self.keys):
+            if cancel_event.is_set() or deadline is not None:
+                until_check -= 1
+                if cancel_event.is_set() or until_check <= 0:
+                    until_check = DEADLINE_CHECK_EVERY
+                    ctx.checkpoint()
             ctx.rows_scanned += 1
             yield row
 
@@ -130,6 +143,22 @@ class PartitionedScan(VectorizedRel, RelNode):
         if builder is None:  # pragma: no cover - guarded at construction
             raise RuntimeError("PartitionedScan template is not partitionable")
         return builder(partition_id)
+
+    def backend_key(self) -> Optional[object]:
+        """The backend object whose health the circuit breaker tracks.
+
+        For capability-table leaves this is the table source (a stable,
+        statement-spanning object); adapter query leaves may expose a
+        duck-typed ``backend_key()`` of their own.  None means "no
+        stable identity": the scheduler skips breaker accounting but
+        still retries."""
+        node: RelNode = self.input
+        while node.inputs:
+            node = node.inputs[0]
+        if isinstance(node, TableScan):
+            return node.table.source
+        key_fn = getattr(node, "backend_key", None)
+        return key_fn() if callable(key_fn) else None
 
 
 # ---------------------------------------------------------------------------

@@ -61,3 +61,37 @@ def sales_catalog():
 def hr_planner(hr_catalog):
     from repro.framework import planner_for
     return planner_for(hr_catalog)
+
+
+@pytest.fixture(autouse=True)
+def _chaos_hard_timeout(request):
+    """Hard wall-clock guard for ``chaos``-marked tests.
+
+    The resilience suite's whole point is "never hangs"; if a bug
+    reintroduces an unbounded wait, SIGALRM turns it into a loud
+    failure instead of a stuck CI job.  Override the default 30s with
+    ``@pytest.mark.chaos(timeout=N)``.  Main-thread only (signals), so
+    plain tests are untouched.
+    """
+    marker = request.node.get_closest_marker("chaos")
+    if marker is None:
+        yield
+        return
+    import signal
+    import threading
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    timeout = marker.kwargs.get("timeout", 30.0)
+
+    def _blow_up(signum, frame):
+        raise RuntimeError(
+            f"chaos test exceeded its {timeout}s hard timeout (hang?)")
+
+    old_handler = signal.signal(signal.SIGALRM, _blow_up)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
