@@ -99,7 +99,7 @@ class TestResilienceOverhead:
 
         budget = MAX_FAULT_OVERHEAD * fault_free + ABSOLUTE_SLACK
         record_result(
-            "resilience: one transient shard failure", "vectorized",
+            "bench_resilience/transient_shard_failure", "vectorized",
             fault_free_s=round(fault_free, 4),
             faulted_s=round(faulted, 4),
             overhead=round(faulted / fault_free, 2) if fault_free else None,

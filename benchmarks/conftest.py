@@ -6,9 +6,22 @@ DESIGN.md §4 for the experiment index).  Run with::
     pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` flag shows the regenerated tables/figures on stdout.
+
+Besides printing, every measurement recorded through
+:func:`record_result` is written at session end to
+``benchmarks/results/BENCH_<module>.json`` (one file per bench
+module, e.g. ``BENCH_parallel.json`` for ``bench_parallel``), so the
+perf trajectory is machine-readable and trackable across PRs instead
+of living only in terminal output.
 """
 
+import json
+import os
+import platform
 import random
+import sys
+import time
+from collections import defaultdict
 
 import pytest
 
@@ -87,3 +100,50 @@ def record_result(label: str, engine: str, **payload) -> dict:
     shape(f"{label} [engine={engine}]",
           "\n".join(f"{k}: {v}" for k, v in payload.items()))
     return entry
+
+
+#: Where the machine-readable result files land.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def _result_group(label: str) -> str:
+    """``bench_parallel/aggregate`` -> ``parallel`` (file grouping)."""
+    prefix = label.split("/", 1)[0]
+    if prefix.startswith("bench_"):
+        return prefix[len("bench_"):]
+    return "misc"
+
+
+def write_result_files(results: list, out_dir: str = RESULTS_DIR) -> list:
+    """Write ``BENCH_<group>.json`` per bench module; returns paths."""
+    groups = defaultdict(list)
+    for entry in results:
+        groups[_result_group(entry.get("label", ""))].append(entry)
+    if not groups:
+        return []
+    os.makedirs(out_dir, exist_ok=True)
+    host = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.system().lower(),
+    }
+    written = []
+    for group, entries in sorted(groups.items()):
+        path = os.path.join(out_dir, f"BENCH_{group}.json")
+        with open(path, "w") as f:
+            json.dump({"bench": group,
+                       "generated_at": int(time.time()),
+                       "host": host,
+                       "results": entries}, f, indent=2)
+            f.write("\n")
+        written.append(path)
+    return written
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist this run's measurements as JSON next to the benches."""
+    for path in write_result_files(RESULTS):
+        print(f"\nwrote {path}")

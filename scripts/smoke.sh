@@ -40,6 +40,18 @@ python -m pytest -q -m "$PARALLEL_MARKER" \
     tests/test_parallel_execution.py \
     benchmarks/bench_parallel.py
 
+# Worker-backend matrix: the same differential cases again, but with
+# the exchange edges running over forked worker processes and the
+# columnar wire format (thread vs process at parallelism 2, and 4 when
+# not in quick mode), plus the wire round-trip property suite and the
+# thread-vs-process scaling curves.  Auto-skipped where fork is
+# unavailable (the scheduler degrades to threads there).
+python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
+    tests/test_wire.py
+python -m pytest -q -m "$PARALLEL_MARKER" \
+    tests/test_process_workers.py \
+    benchmarks/bench_parallel.py::TestProcessBackendScaling
+
 # Federated-parallel gates: partition-pushdown scans across adapters —
 # the partitioned federated join must shuffle strictly fewer rows than
 # the gather-then-shard baseline (the wall-clock win is hardware-gated
@@ -64,4 +76,5 @@ python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
 # the fault-free wall clock).
 python -m pytest -q -m "chaos" \
     tests/test_resilience.py \
+    tests/test_process_workers.py \
     benchmarks/bench_resilience.py

@@ -26,6 +26,7 @@ import threading
 from typing import Any, Dict, List, Optional
 
 from ..adapters.resilience import BreakerRegistry
+from ..runtime.vectorized.batch import DEFAULT_BATCH_SIZE
 from ..schema.core import Catalog
 from .cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 
@@ -97,7 +98,7 @@ class QueryServer:
         self._resilience_totals: Dict[str, int] = {
             "retries": 0, "deadline_misses": 0, "breaker_trips": 0,
             "breaker_rejections": 0, "shard_fallbacks": 0,
-            "worker_leaks": 0, "cancelled": 0,
+            "worker_leaks": 0, "worker_crashes": 0, "cancelled": 0,
         }
 
     # -- tenants --------------------------------------------------------------
@@ -236,6 +237,16 @@ class QueryServer:
                     "live": len(self._statements),
                 },
                 "resilience": dict(self._resilience_totals),
+                # The execution profile new connections inherit (a
+                # connection may still override per tenant).
+                "execution": {
+                    "workers": self.default_planner_options.get(
+                        "workers", "thread"),
+                    "batch_size": self.default_planner_options.get(
+                        "batch_size", DEFAULT_BATCH_SIZE),
+                    "parallelism": self.default_planner_options.get(
+                        "parallelism", 1),
+                },
             }
         out["plan_cache"] = (self.plan_cache.stats.snapshot()
                              if self.plan_cache is not None else None)

@@ -76,6 +76,20 @@ class CircuitOpenError(BackendError):
     retryable = False
 
 
+class WorkerCrashed(BackendError):
+    """A worker process died mid-statement (killed, segfault, OOM).
+
+    Raised by the process-backed scheduler when a pipe hits EOF before
+    the worker's end-of-stream frame: the statement fails with a typed
+    error instead of hanging on a half-open channel.  Not retryable —
+    the dead worker may have emitted rows already, so replaying its
+    subtree could duplicate output; the statement as a whole must
+    re-run.
+    """
+
+    retryable = False
+
+
 #: Taxonomy members describing the *statement* (not the backend): they
 #: must never trip a circuit breaker or be retried.
 CONTROL_ERRORS = (DeadlineExceeded, StatementCancelled, CircuitOpenError)

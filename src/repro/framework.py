@@ -60,6 +60,7 @@ from .errors import Deadline
 from .runtime.nodes import enumerable_rules
 from .runtime.operators import ExecutionContext, execute
 from .runtime.vectorized import vectorized_rules
+from .runtime.vectorized.batch import DEFAULT_BATCH_SIZE
 from .runtime.vectorized.parallel_rules import DEFAULT_BROADCAST_THRESHOLD
 from .schema.core import Catalog
 from .sql.parser import parse
@@ -84,6 +85,25 @@ class FrameworkConfig:
     #: ``ColumnBatch`` streams across N workers; 1 is today's serial
     #: path, plan and all.
     parallelism: int = 1
+    #: worker backend for the parallel scheduler's exchange edges:
+    #: ``"thread"`` (in-process worker pool — partitioned semantics
+    #: everywhere, true core scaling only on GIL-free builds),
+    #: ``"process"`` (forked worker processes exchanging wire-encoded
+    #: ``ColumnBatch`` frames over pipes — true multicore on the
+    #: standard GIL-enabled CPython; requires the ``fork`` start
+    #: method, silently degrading to threads without it), or
+    #: ``"auto"`` (pick ``"process"`` when ``parallelism > 1`` on a
+    #: GIL-enabled build with fork available, ``"thread"`` otherwise).
+    #: Folded into the planning fingerprint via the resolved value.
+    workers: str = "thread"
+    #: rows per ``ColumnBatch`` in the vectorized engine.  Larger
+    #: batches amortise per-batch dispatch (and per-frame wire
+    #: overhead on process-backed edges); smaller ones keep working
+    #: sets cache-friendly and pipelines responsive.  Carried on the
+    #: :class:`~repro.runtime.operators.ExecutionContext` and folded
+    #: into the planning fingerprint so cached plans never mix batch
+    #: shapes.
+    batch_size: int = DEFAULT_BATCH_SIZE
     #: join build sides at or below this estimated row count are
     #: broadcast instead of hash-partitioning both inputs
     broadcast_join_threshold: float = DEFAULT_BROADCAST_THRESHOLD
@@ -195,6 +215,13 @@ class Planner:
             raise ValueError(
                 f"scan_retry_attempts must be >= 1, "
                 f"got {config.scan_retry_attempts}")
+        if config.workers not in ("thread", "process", "auto"):
+            raise ValueError(
+                f"unknown workers backend {config.workers!r}; expected "
+                f"'thread', 'process' or 'auto'")
+        if config.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {config.batch_size}")
         self.config = config
         self.catalog = config.catalog
         self.converter = SqlToRelConverter(self.catalog)
@@ -318,6 +345,31 @@ class Planner:
         return RelMetadataQuery(self.config.metadata_providers,
                                 caching=self.config.metadata_caching)
 
+    def resolved_workers(self) -> str:
+        """The concrete worker backend this planner will run with.
+
+        ``"auto"`` upgrades to ``"process"`` exactly when it pays off:
+        ``parallelism > 1`` on a GIL-enabled interpreter with the
+        ``fork`` start method available.  An explicit ``"process"``
+        request without fork support resolves to ``"thread"`` (the
+        scheduler would silently degrade anyway; resolving here keeps
+        the fingerprint and server stats truthful).
+        """
+        c = self.config
+        if c.engine != "vectorized" or c.parallelism <= 1:
+            return "thread"
+        from .runtime.vectorized.parallel_process import (
+            process_backend_available,
+        )
+        if c.workers == "process":
+            return "process" if process_backend_available() else "thread"
+        if c.workers == "auto":
+            import sys
+            gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+            if gil_enabled and process_backend_available():
+                return "process"
+        return "thread"
+
     # -- stage 4: prepare (cacheable) -----------------------------------------
     def _planning_fingerprint(self) -> Tuple:
         """Everything in the config that can change the chosen plan.
@@ -328,7 +380,8 @@ class Planner:
         cache even when the schema tree itself is unchanged.
         """
         c = self.config
-        return (c.engine, c.parallelism, c.broadcast_join_threshold,
+        return (c.engine, c.parallelism, self.resolved_workers(),
+                c.batch_size, c.broadcast_join_threshold,
                 c.partitioned_scans, self.catalog.capability_fingerprint(),
                 c.join_reorder, c.exhaustive, c.delta, c.patience,
                 c.use_materializations, c.use_lattices,
@@ -399,7 +452,9 @@ class Planner:
                                max_delay=c.scan_retry_backoff_max),
             breakers=self.breakers)
         return ExecutionContext(parameters, deadline=Deadline.after(seconds),
-                                resilience=resilience)
+                                resilience=resilience,
+                                batch_size=c.batch_size,
+                                workers=self.resolved_workers())
 
     def bind(self, prepared: "PreparedPlan",
              parameters: Sequence[Any] = (),

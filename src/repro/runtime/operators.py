@@ -50,7 +50,9 @@ class ExecutionContext:
 
     def __init__(self, parameters: Sequence[Any] = (),
                  deadline: Optional[Deadline] = None,
-                 resilience: Any = None) -> None:
+                 resilience: Any = None,
+                 batch_size: Optional[int] = None,
+                 workers: str = "thread") -> None:
         self.parameters = list(parameters)
         self.rows_scanned = 0
         self.rows_emitted = 0
@@ -58,6 +60,13 @@ class ExecutionContext:
         #: partition-pushdown scans elide exchanges, so this is the
         #: federated benchmark's shuffle-volume metric
         self.rows_shuffled = 0
+        #: vectorized batch size for this statement (None: engine
+        #: default); resolved by ``VectorizedRel.execute_batches``
+        self.batch_size = batch_size
+        #: worker backend for exchange edges: ``"thread"`` (in-process
+        #: worker pool) or ``"process"`` (forked workers exchanging
+        #: wire-encoded batches over pipes)
+        self.workers = workers
         #: the statement's time budget (None: unbounded); checked by
         #: scan iterators and the parallel scheduler's poll loops
         self.deadline = deadline
@@ -77,6 +86,10 @@ class ExecutionContext:
         self.breaker_rejections = 0
         self.shard_fallbacks = 0
         self.worker_leaks = 0
+        #: process workers forked for this statement (process backend)
+        self.processes_spawned = 0
+        #: worker processes that died before end-of-stream
+        self.worker_crashes = 0
         self._deadline_noted = False
         self._shuffle_lock = _threading.Lock()
 
@@ -135,6 +148,35 @@ class ExecutionContext:
         with self._shuffle_lock:
             self.worker_leaks += n
 
+    def note_worker_crash(self) -> None:
+        with self._shuffle_lock:
+            self.worker_crashes += 1
+
+    def note_processes_spawned(self, n: int) -> None:
+        with self._shuffle_lock:
+            self.processes_spawned += n
+
+    # -- cross-process stat folding -------------------------------------------
+
+    _CHILD_STAT_KEYS = ("rows_scanned", "rows_shuffled", "retries",
+                        "breaker_trips", "shard_fallbacks",
+                        "worker_crashes", "processes_spawned")
+
+    def child_stats(self) -> Dict[str, int]:
+        """The counters a worker process ships home in its STATS frame
+        (the subset that accumulates additively across processes)."""
+        with self._shuffle_lock:
+            return {k: getattr(self, k) for k in self._CHILD_STAT_KEYS}
+
+    def merge_child_stats(self, stats: Dict[str, int]) -> None:
+        """Fold a worker process's :meth:`child_stats` into this
+        (parent) context — called by the consumer draining its pipe."""
+        with self._shuffle_lock:
+            for key in self._CHILD_STAT_KEYS:
+                n = stats.get(key, 0)
+                if n:
+                    setattr(self, key, getattr(self, key) + n)
+
     def resilience_snapshot(self) -> Dict[str, int]:
         """The statement's resilience counters, for server stats."""
         with self._shuffle_lock:
@@ -145,6 +187,7 @@ class ExecutionContext:
                 "breaker_rejections": self.breaker_rejections,
                 "shard_fallbacks": self.shard_fallbacks,
                 "worker_leaks": self.worker_leaks,
+                "worker_crashes": self.worker_crashes,
                 "cancelled": 1 if self.user_cancelled else 0,
             }
 

@@ -26,6 +26,7 @@ from .exchange import (
 from .executor import execute_batches
 from .expr import Frame, Scalar, compile_rex, eval_rex_column
 from .parallel_rules import insert_exchanges
+from .wire import decode_batch, encode_batch
 from .nodes import (
     VECTORIZED,
     BatchToRow,
@@ -69,6 +70,8 @@ __all__ = [
     "batches_from_rows",
     "compile_rex",
     "concat_batches",
+    "decode_batch",
+    "encode_batch",
     "eval_rex_column",
     "exchanges_in",
     "execute_batches",

@@ -73,13 +73,35 @@ class ColumnBatch:
 
     # -- row boundary -----------------------------------------------------
     def to_rows(self) -> List[tuple]:
-        base = self.compact()
-        if base.num_rows == 0:
+        """Materialise the live rows as tuples in one pass.
+
+        The selected path gathers each row directly through the
+        selection vector instead of compacting (one column copy) and
+        then zipping (a second walk).  Zero-field batches yield no
+        rows regardless of ``num_rows``, matching ``zip()`` on an
+        empty column list.
+        """
+        cols = self.columns
+        if not cols:
             return []
-        return list(zip(*base.columns))
+        sel = self.selection
+        if sel is None:
+            return list(zip(*cols))
+        if len(cols) == 1:
+            col = cols[0]
+            return [(col[i],) for i in sel]
+        return [tuple(col[i] for col in cols) for i in sel]
 
     def iter_rows(self) -> Iterator[tuple]:
-        return iter(self.to_rows())
+        """Stream the live rows as tuples (same fusion as
+        :meth:`to_rows`, without materialising the list)."""
+        cols = self.columns
+        if not cols:
+            return iter(())
+        sel = self.selection
+        if sel is None:
+            return zip(*cols)
+        return (tuple(col[i] for col in cols) for i in sel)
 
     def __len__(self) -> int:
         return self.live_count

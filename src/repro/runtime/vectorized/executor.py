@@ -82,6 +82,11 @@ def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
     if isinstance(rel, InjectedBatches):
         # A partition stream injected by the parallel scheduler.
         return iter(rel.batches)
+    stream = getattr(rel, "stream_batches", None)
+    if stream is not None:
+        # Scheduler-injected leaves that produce their own batches
+        # (process-backend pipe readers and shard sources).
+        return stream(ctx, batch_size)
     if isinstance(rel, SingletonExchange):
         # Gather point of a parallel region: run the workers below.
         from .parallel import gather_batches

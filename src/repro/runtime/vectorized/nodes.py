@@ -68,9 +68,12 @@ class VectorizedRel:
     """Mixin: batch execution plus row-boundary fallback."""
 
     def execute_batches(self, ctx, batch_size=None):
+        from .batch import DEFAULT_BATCH_SIZE
         from .executor import execute_batches
         if batch_size is None:
-            return execute_batches(self, ctx)
+            # Entry point of a statement: honour the configured batch
+            # size riding on the context (FrameworkConfig.batch_size).
+            batch_size = getattr(ctx, "batch_size", None) or DEFAULT_BATCH_SIZE
         return execute_batches(self, ctx, batch_size)
 
     def execute_rows(self, ctx):

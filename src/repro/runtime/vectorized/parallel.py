@@ -378,7 +378,7 @@ def _shard_stream(scan: PartitionedScan, p: int, ctx: ExecutionContext,
 
 def _rows_of(batches: Iterator[ColumnBatch]) -> Iterator[tuple]:
     for batch in batches:
-        yield from batch.to_rows()
+        yield from batch.iter_rows()
 
 
 def _rebatch(rows: Iterator[tuple], field_count: int,
@@ -396,7 +396,18 @@ def _rebatch(rows: Iterator[tuple], field_count: int,
 def gather_batches(exch: SingletonExchange, ctx: ExecutionContext,
                    batch_size: int) -> Iterator[ColumnBatch]:
     """Execute a gather: run the parallel region below ``exch`` and
-    merge its partition streams into one."""
+    merge its partition streams into one.
+
+    With ``ctx.workers == "process"`` (and ``fork`` available) the
+    region runs on forked worker processes exchanging wire-encoded
+    batches instead of in-process threads — same topology, true
+    multicore on GIL-enabled builds (:mod:`.parallel_process`).
+    """
+    if getattr(ctx, "workers", "thread") == "process":
+        from .parallel_process import process_gather, use_process_backend
+        if use_process_backend(exch, ctx):
+            yield from process_gather(exch, ctx, batch_size)
+            return
     region = Region(ctx)
     try:
         streams = partition_streams(exch.input, ctx, batch_size, region)
