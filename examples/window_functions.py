@@ -1,0 +1,79 @@
+"""Window functions on the vectorized engine, shard-local in parallel.
+
+The planner converts ``LogicalWindow`` into ``VectorizedWindow`` —
+columnar kernels for ROW_NUMBER/RANK/DENSE_RANK, LAG/LEAD and framed
+SUM/COUNT/MIN/MAX/AVG that sort each partition run once and sweep it.
+Under ``parallelism=N`` the PARTITION BY keys become a
+hash-distribution requirement: when the memory backend can serve
+hash-partitioned shards on those keys, every worker evaluates its
+partitions locally and the plan shuffles zero rows.  Distinct set
+operations (UNION/INTERSECT/EXCEPT) parallelize the same way by
+hash-exchanging on the full row and deduplicating per worker.
+
+Run:  python examples/window_functions.py
+"""
+
+import random
+
+from repro import Catalog, MemoryTable, Schema
+from repro.core.types import DEFAULT_TYPE_FACTORY as F
+from repro.framework import FrameworkConfig, Planner
+
+
+def build_catalog(n_sales: int = 10_000, n_products: int = 50) -> Catalog:
+    rng = random.Random(7)
+    catalog = Catalog()
+    s = Schema("s")
+    catalog.add_schema(s)
+    s.add_table(MemoryTable(
+        "sales", ["saleId", "productId", "units"],
+        [F.integer(False), F.integer(False), F.integer(False)],
+        [(i, rng.randrange(n_products), 1 + i % 9) for i in range(n_sales)]))
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+    sql = ("SELECT saleId, productId, "
+           "SUM(units) OVER (PARTITION BY productId ORDER BY saleId) "
+           "AS running_total, "
+           "AVG(units) OVER (PARTITION BY productId ORDER BY saleId "
+           "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS moving_avg, "
+           "ROW_NUMBER() OVER (PARTITION BY productId ORDER BY saleId) "
+           "AS seq, "
+           "LAG(units) OVER (PARTITION BY productId ORDER BY saleId) "
+           "AS prev_units "
+           "FROM s.sales")
+
+    row = Planner(FrameworkConfig(catalog, engine="row"))
+    parallel = Planner(FrameworkConfig(catalog, engine="vectorized",
+                                       parallelism=4))
+
+    plan = parallel.optimize(parallel.rel(sql))
+    print("== 4-worker plan: shard-local window, no HashExchange ==")
+    print(plan.explain())
+
+    result = parallel.execute(sql)
+    print("\n== first rows (saleId, productId, running_total, "
+          "moving_avg, seq, prev_units) ==")
+    for r in sorted(result.rows)[:8]:
+        print(r)
+
+    # The parallel vectorized result matches the row engine exactly,
+    # and the co-partitioned plan moved zero rows between workers.
+    assert sorted(result.rows) == sorted(row.execute(sql).rows)
+    assert result.context.rows_shuffled == 0
+    print(f"\nrows shuffled: {result.context.rows_shuffled}")
+
+    union = ("SELECT productId FROM s.sales WHERE units > 7 "
+             "UNION SELECT productId FROM s.sales WHERE units < 3")
+    print("\n== distinct UNION: hash-exchange on the full row, "
+          "per-worker dedup ==")
+    print(parallel.optimize(parallel.rel(union)).explain())
+    got = sorted(parallel.execute(union).rows)
+    assert got == sorted(row.execute(union).rows)
+    print(f"distinct product ids: {len(got)}")
+
+
+if __name__ == "__main__":
+    main()

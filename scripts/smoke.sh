@@ -69,6 +69,15 @@ python -m pytest -q ${MARKER_ARGS[@]+"${MARKER_ARGS[@]}"} \
     tests/test_avatica_server.py \
     benchmarks/bench_server.py
 
+# Window gates: the window/set-op slice of the differential suite and
+# the property oracle (already covered above serially), plus the window
+# throughput bench — every parallel window plan over the partitioned
+# memory backend must run shard-local (no HashExchange, zero rows
+# shuffled) and stay within the scheduler-overhead envelope (the
+# speedup gates are hardware-gated inside the bench).
+python -m pytest -q -m "$PARALLEL_MARKER" \
+    benchmarks/bench_window.py
+
 # Resilience gates: the chaos suite (deadlines, retries, breakers,
 # cancellation, leak regressions — each test under a hard wall-clock
 # guard, so a reintroduced hang fails loudly) and the fault-overhead

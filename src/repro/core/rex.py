@@ -72,6 +72,12 @@ class SqlKind(enum.Enum):
     MAX = "MAX"
     COLLECT = "COLLECT"
     SINGLE_VALUE = "SINGLE_VALUE"
+    # window-only functions (valid only with an OVER clause)
+    ROW_NUMBER = "ROW_NUMBER"
+    RANK = "RANK"
+    DENSE_RANK = "DENSE_RANK"
+    LAG = "LAG"
+    LEAD = "LEAD"
     # scalar functions
     FUNCTION = "FUNCTION"
     CONCAT = "||"
@@ -148,6 +154,20 @@ AGG_KINDS = {
     SqlKind.COLLECT,
     SqlKind.SINGLE_VALUE,
 }
+
+#: Functions that only make sense with an OVER clause.  The ranking
+#: kinds ignore the window frame entirely (they are a property of the
+#: partition ordering); LAG/LEAD address rows by ordered offset.
+WINDOW_ONLY_KINDS = {
+    SqlKind.ROW_NUMBER,
+    SqlKind.RANK,
+    SqlKind.DENSE_RANK,
+    SqlKind.LAG,
+    SqlKind.LEAD,
+}
+
+#: Window-only kinds whose result is a rank over the partition ordering.
+RANKING_KINDS = {SqlKind.ROW_NUMBER, SqlKind.RANK, SqlKind.DENSE_RANK}
 
 
 class Monotonicity(enum.Enum):
@@ -318,6 +338,13 @@ MIN = _r(SqlOperator("MIN", SqlKind.MIN, _ret_first_nullable))
 MAX = _r(SqlOperator("MAX", SqlKind.MAX, _ret_first_nullable))
 COLLECT = _r(SqlOperator("COLLECT", SqlKind.COLLECT, None))
 SINGLE_VALUE = _r(SqlOperator("SINGLE_VALUE", SqlKind.SINGLE_VALUE, _ret_first_nullable))
+
+# Window-only functions (require an OVER clause; enforced in sql.to_rel)
+ROW_NUMBER = _r(SqlOperator("ROW_NUMBER", SqlKind.ROW_NUMBER, _ret_bigint_not_null))
+RANK = _r(SqlOperator("RANK", SqlKind.RANK, _ret_bigint_not_null))
+DENSE_RANK = _r(SqlOperator("DENSE_RANK", SqlKind.DENSE_RANK, _ret_bigint_not_null))
+LAG = _r(SqlOperator("LAG", SqlKind.LAG, _ret_first_nullable))
+LEAD = _r(SqlOperator("LEAD", SqlKind.LEAD, _ret_first_nullable))
 
 # String functions
 CONCAT = _r(SqlOperator("||", SqlKind.CONCAT, _ret_varchar, "binary"))

@@ -38,7 +38,7 @@ from ..core.rel import (
     Values,
     Window,
 )
-from ..core.rex import RexNode, RexOver, RexSubQuery, SqlKind
+from ..core.rex import RANKING_KINDS, RexNode, RexOver, RexSubQuery, SqlKind
 from ..core.rex_eval import EvalContext, RexExecutionError, evaluate
 from ..errors import Deadline, DeadlineExceeded, StatementCancelled
 
@@ -685,6 +685,23 @@ def _window(rel: Window, ctx: ExecutionContext) -> Iterator[tuple]:
         yield row + tuple(col[i] for col in extra_columns)
 
 
+def window_order_key(order_vals: Sequence[Any],
+                     order_keys: Sequence[Tuple[Any, bool]]) -> tuple:
+    """Sort key for one row's window ORDER BY values.
+
+    NULLs sort as the largest value of either direction (the SQL
+    default: NULLS LAST ascending, NULLS FIRST descending) — shared by
+    both engines so their partition orderings agree exactly.
+    """
+    out: List[Any] = []
+    for v, (_expr, desc) in zip(order_vals, order_keys):
+        k: Any = _NullsKey(v, True)
+        if desc:
+            k = _DescKey(k)
+        out.append(k)
+    return tuple(out)
+
+
 def _evaluate_over(over: RexOver, rows: List[tuple],
                    eval_ctx: EvalContext) -> List[Any]:
     """Evaluate one windowed aggregate for every input row."""
@@ -694,27 +711,78 @@ def _evaluate_over(over: RexOver, rows: List[tuple],
     for idx, row in enumerate(rows):
         key = tuple(evaluate(k, row, eval_ctx) for k in over.partition_keys)
         partitions.setdefault(key, []).append(idx)
+    kind = over.op.kind
     for indices in partitions.values():
-        # Order within the partition.
+        # Order within the partition (stable, so peers keep input order).
         if over.order_keys:
-            def sort_key(i: int):
-                return tuple(
-                    _NullsKey(evaluate(k, rows[i], eval_ctx), nulls_big=not desc)
-                    for k, desc in over.order_keys)
-            # simple handling: single overall ascending/descending per key
-            ordered = indices
-            for k, desc in reversed(over.order_keys):
-                ordered = sorted(
-                    ordered,
-                    key=lambda i: _NullsKey(evaluate(k, rows[i], eval_ctx), True),
-                    reverse=desc)
+            order_vals = {
+                i: tuple(evaluate(k, rows[i], eval_ctx)
+                         for k, _desc in over.order_keys)
+                for i in indices}
+            ordered = sorted(indices, key=lambda i: window_order_key(
+                order_vals[i], over.order_keys))
         else:
+            order_vals = {i: () for i in indices}
             ordered = list(indices)
+        if kind in RANKING_KINDS:
+            _apply_ranking(kind, ordered, order_vals, results)
+            continue
+        if kind in (SqlKind.LAG, SqlKind.LEAD):
+            _apply_lag_lead(over, ordered, rows, results, eval_ctx)
+            continue
         for pos, row_idx in enumerate(ordered):
             frame = _frame_rows(over, ordered, pos, rows, eval_ctx)
             results[row_idx] = _apply_window_agg(over, [rows[i] for i in frame],
                                                  rows[row_idx], eval_ctx)
     return results
+
+
+def _apply_ranking(kind: SqlKind, ordered: List[int],
+                   order_vals: Dict[int, tuple],
+                   results: List[Any]) -> None:
+    """ROW_NUMBER/RANK/DENSE_RANK over one ordered partition.
+
+    Ranking ignores the frame: it is a property of the partition
+    ordering alone.  Peers (equal ORDER BY values) share RANK and
+    DENSE_RANK; ROW_NUMBER breaks ties by input order (stable sort).
+    """
+    rank = dense = 0
+    prev: Optional[tuple] = None
+    for pos, row_idx in enumerate(ordered):
+        vals = order_vals[row_idx]
+        if prev is None or vals != prev:
+            rank = pos + 1
+            dense += 1
+            prev = vals
+        if kind is SqlKind.ROW_NUMBER:
+            results[row_idx] = pos + 1
+        elif kind is SqlKind.RANK:
+            results[row_idx] = rank
+        else:  # DENSE_RANK
+            results[row_idx] = dense
+
+
+def _apply_lag_lead(over: RexOver, ordered: List[int], rows: List[tuple],
+                    results: List[Any], eval_ctx: EvalContext) -> None:
+    """LAG/LEAD: the operand evaluated ``offset`` rows behind/ahead in
+    the partition ordering; the optional third operand is the default
+    outside the partition (NULL when absent).  Frames are ignored."""
+    n = len(ordered)
+    step = -1 if over.op.kind is SqlKind.LAG else 1
+    for pos, row_idx in enumerate(ordered):
+        row = rows[row_idx]
+        offset = 1
+        if len(over.operands) > 1:
+            off = evaluate(over.operands[1], row, eval_ctx)
+            offset = 1 if off is None else int(off)
+        target = pos + step * offset
+        if 0 <= target < n:
+            results[row_idx] = evaluate(over.operands[0], rows[ordered[target]],
+                                        eval_ctx)
+        elif len(over.operands) > 2:
+            results[row_idx] = evaluate(over.operands[2], row, eval_ctx)
+        else:
+            results[row_idx] = None
 
 
 def _frame_rows(over: RexOver, ordered: List[int], pos: int,
@@ -776,10 +844,6 @@ def _row_bound(bound, pos: int, n: int, eval_ctx: EvalContext,
 def _apply_window_agg(over: RexOver, frame_rows: List[tuple],
                       current_row: tuple, eval_ctx: EvalContext) -> Any:
     kind = over.op.kind
-    name = over.op.name.upper()
-    if name == "ROW_NUMBER":
-        # frame is unused: ROW_NUMBER counts position; emulate via frame
-        return len(frame_rows)
     values: List[Any] = []
     for row in frame_rows:
         if over.operands:

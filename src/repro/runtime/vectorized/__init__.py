@@ -43,6 +43,7 @@ from .nodes import (
     VectorizedValues,
     vectorized_rules,
 )
+from .window import VectorizedWindow, VectorizedWindowRule
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -67,6 +68,8 @@ __all__ = [
     "VectorizedTableScan",
     "VectorizedUnion",
     "VectorizedValues",
+    "VectorizedWindow",
+    "VectorizedWindowRule",
     "batches_from_rows",
     "compile_rex",
     "concat_batches",

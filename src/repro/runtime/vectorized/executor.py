@@ -52,6 +52,7 @@ from .nodes import (
     VectorizedUnion,
     VectorizedValues,
 )
+from .window import VectorizedWindow, window_batches
 
 
 def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
@@ -79,6 +80,8 @@ def execute_batches(rel: RelNode, ctx: Optional[ExecutionContext] = None,
         return _minus(rel, ctx, batch_size)
     if isinstance(rel, VectorizedValues):
         return _values(rel)
+    if isinstance(rel, VectorizedWindow):
+        return window_batches(rel, ctx, batch_size)
     if isinstance(rel, InjectedBatches):
         # A partition stream injected by the parallel scheduler.
         return iter(rel.batches)

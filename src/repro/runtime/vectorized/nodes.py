@@ -343,8 +343,10 @@ class BatchToRowRule(ConverterRule):
 def vectorized_rules() -> List[ConverterRule]:
     """Converter rules from the logical (and row) conventions into the
     vectorized convention, plus the batch→row fallback bridge."""
+    from .window import VectorizedWindowRule  # deferred: window imports nodes
     return [
         VectorizedTableScanRule(),
+        VectorizedWindowRule(),
         VectorizedFilterRule(),
         VectorizedProjectRule(),
         VectorizedJoinRule(),

@@ -72,6 +72,7 @@ from .nodes import (
     VectorizedSort,
     VectorizedUnion,
 )
+from .window import VectorizedWindow
 
 _VEC_TRAITS = RelTraitSet(Convention.VECTORIZED)
 
@@ -215,9 +216,9 @@ class ExchangeInsertionRules:
             return self._union_all(rel)
         if isinstance(rel, (VectorizedUnion, VectorizedIntersect,
                             VectorizedMinus)):
-            # Distinct set operations dedup globally: gather each input.
-            gathered = [self._gather(*self.rewrite(i)) for i in rel.inputs]
-            return rel.copy(inputs=gathered), _SINGLETON
+            return self._distinct_setop(rel)
+        if isinstance(rel, VectorizedWindow):
+            return self._window(rel)
         # Scans, values, engine bridges, adapter operators, row-engine
         # subtrees: a serial source.
         return rel, _SINGLETON
@@ -403,6 +404,70 @@ class ExchangeInsertionRules:
                 RelTraitSet(Convention.VECTORIZED, rel.collation)),
                 _SINGLETON)
         return gathered, _SINGLETON
+
+    def _window(self, rel: "VectorizedWindow") -> Tuple[RelNode, _Dist]:
+        """A window's PARTITION BY keys are a hash-distribution
+        requirement: co-located partitions evaluate independently, so a
+        co-partitioned input (including an elided
+        :class:`~.partitioned.PartitionedScan`) runs the window
+        shard-local with zero shuffle, and anything else needs exactly
+        one hash exchange on the partition keys.
+
+        Only windows whose every OVER partitions by the same set of
+        plain input columns distribute this way; computed keys, global
+        windows (no PARTITION BY) and mixed partitionings gather — a
+        superset analysis could do better, but correctness first."""
+        child, dist = self.rewrite(rel.input)
+        keys = self._window_keys(rel)
+        if keys is None:
+            return rel.copy(inputs=[self._gather(child, dist)]), _SINGLETON
+        child, dist = self._ensure_hash(child, dist, keys)
+        if dist.kind == "BROADCAST":
+            # Every worker would evaluate every partition: duplicates.
+            child = self._gather(child, dist)
+            return rel.copy(inputs=[child]), _SINGLETON
+        # Input fields pass through at the same positions (window
+        # columns are appended), so the distribution survives the node.
+        return rel.copy(inputs=[child]), dist
+
+    @staticmethod
+    def _window_keys(rel: "VectorizedWindow") -> Optional[Tuple[int, ...]]:
+        """The common PARTITION BY column indices of every window
+        expression, or None when no shuffle-safe key set exists."""
+        common: Optional[Tuple[int, ...]] = None
+        for over in rel.window_exprs:
+            if not over.partition_keys:
+                return None
+            if not all(isinstance(k, RexInputRef) for k in over.partition_keys):
+                return None
+            keys = tuple(k.index for k in over.partition_keys)
+            if common is None:
+                common = keys
+            elif set(keys) != set(common):
+                return None
+        return common
+
+    def _distinct_setop(self, rel: RelNode) -> Tuple[RelNode, _Dist]:
+        """Distinct UNION/INTERSECT/MINUS: hash-exchange every input on
+        the full row, so all copies of a row — across batches *and*
+        across inputs — co-locate on one worker, whose local dedup is
+        then globally correct (the final phase of the two-phase shape).
+        Already-partitioned inputs get a per-partition pre-dedup before
+        the shuffle (the partial phase), shrinking exchange volume to
+        distinct rows only."""
+        keys = tuple(range(rel.row_type.field_count))
+        outs: List[RelNode] = []
+        for i in rel.inputs:
+            child, dist = self.rewrite(i)
+            if dist.kind == "BROADCAST":
+                # Every worker holds every row: per-worker dedup would
+                # multiply the result.  Collapse to one stream first.
+                child, dist = self._gather(child, dist), _SINGLETON
+            if dist.kind in ("RANDOM", "HASH") and dist.keys != keys:
+                child = VectorizedAggregate(child, keys, [], _VEC_TRAITS)
+            child, dist = self._ensure_hash(child, dist, keys)
+            outs.append(child)
+        return rel.copy(inputs=outs), _Dist("HASH", keys)
 
     def _union_all(self, rel: VectorizedUnion) -> Tuple[RelNode, _Dist]:
         rewritten = [self.rewrite(i) for i in rel.inputs]

@@ -1,0 +1,303 @@
+"""Vectorized window execution (Section 4's window operator, columnar).
+
+:class:`VectorizedWindow` is the batch twin of the row engine's window
+interpreter (:func:`repro.runtime.operators._window`): it gathers its
+input into one compact :class:`~.batch.ColumnBatch`, evaluates every
+partition/order/argument expression once over whole columns, then runs
+per-partition kernels over sorted index runs:
+
+* ROW_NUMBER / RANK / DENSE_RANK — positional, frame-free;
+* LAG / LEAD — ordered-offset addressing with an optional default;
+* COUNT / SUM / SUM0 / AVG / MIN / MAX — over ROWS frames, with a
+  running-accumulation fast path for the common
+  ``UNBOUNDED PRECEDING .. CURRENT ROW`` frame (accumulation order is
+  partition order, so float results agree with the row engine
+  bit-for-bit), and RANGE frames over the first order key.
+
+Semantics — NULL ordering, tie handling, frame clamping, NULL-skipping
+accumulation — deliberately mirror the row engine so the two engines
+stay differentially testable against each other.
+
+The operator appends its result columns after the pass-through input
+fields, so any hash distribution of the input remains valid above the
+window; the exchange-insertion pass (:mod:`.parallel_rules`) exploits
+this to run windows shard-local on co-partitioned inputs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ...core.cost import RelOptCost
+from ...core.rel import LogicalWindow, RelNode, Window
+from ...core.rex import RANKING_KINDS, RexOver, SqlKind
+from ...core.rex_eval import EvalContext, evaluate
+from ..operators import ExecutionContext, window_order_key
+from .batch import ColumnBatch
+from .expr import Frame, as_column, compile_rex
+from .nodes import _VEC_TRAITS, VECTORIZED, VectorizedRel
+from ...core.rule import ConverterRule, RelOptRuleCall
+from ...core.traits import Convention
+
+#: Window function kinds the vectorized kernels implement.  Anything
+#: else (e.g. COLLECT OVER) stays on the row engine via the bridges.
+SUPPORTED_WINDOW_KINDS = RANKING_KINDS | {
+    SqlKind.LAG, SqlKind.LEAD,
+    SqlKind.COUNT, SqlKind.SUM, SqlKind.SUM0, SqlKind.AVG,
+    SqlKind.MIN, SqlKind.MAX,
+}
+
+
+def supported_over(over: Any) -> bool:
+    """True when the vectorized kernels cover this window expression."""
+    return isinstance(over, RexOver) and over.op.kind in SUPPORTED_WINDOW_KINDS
+
+
+class VectorizedWindow(VectorizedRel, Window):
+    """Blocking columnar window operator."""
+
+    def compute_self_cost(self, mq) -> RelOptCost:
+        from .nodes import VECTOR_CPU_FACTOR
+        rows = mq.row_count(self)
+        return RelOptCost(
+            rows, rows * (1 + len(self.window_exprs)) * VECTOR_CPU_FACTOR, 0.0)
+
+
+class VectorizedWindowRule(ConverterRule):
+    """LogicalWindow → VectorizedWindow when every OVER is supported."""
+
+    def __init__(self) -> None:
+        super().__init__(LogicalWindow, Convention.NONE, VECTORIZED,
+                         "VectorizedWindowRule")
+
+    def convert(self, rel: RelNode, call: RelOptRuleCall) -> Optional[RelNode]:
+        if not all(supported_over(e) for e in rel.window_exprs):
+            return None
+        return VectorizedWindow(call.convert_input(rel.input, _VEC_TRAITS),
+                                rel.window_exprs, rel.field_names, _VEC_TRAITS)
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+def window_batches(rel: VectorizedWindow, ctx: ExecutionContext,
+                   batch_size: int) -> Iterator[ColumnBatch]:
+    """Execute a window operator: one output batch, input columns first,
+    one appended column per window expression."""
+    from .executor import _gather_input
+    batch = _gather_input(rel.input, ctx, batch_size)
+    n = batch.num_rows
+    if n == 0:
+        yield ColumnBatch.empty(rel.row_type.field_count)
+        return
+    eval_ctx = ctx.eval_context()
+    frame = Frame(batch.columns, n, eval_ctx)
+    columns = list(batch.columns)
+    for over in rel.window_exprs:
+        columns.append(eval_over_column(over, frame, eval_ctx))
+    yield ColumnBatch(columns, n)
+
+
+def _column(expr: Any, frame: Frame) -> list:
+    return as_column(compile_rex(expr)(frame), frame.num_rows)
+
+
+def eval_over_column(over: RexOver, frame: Frame,
+                     eval_ctx: EvalContext) -> List[Any]:
+    """One window expression over a whole (compact) frame → one column."""
+    n = frame.num_rows
+    results: List[Any] = [None] * n
+    if over.partition_keys:
+        key_cols = [_column(k, frame) for k in over.partition_keys]
+        partitions: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for i, key in enumerate(zip(*key_cols)):
+            partitions.setdefault(key, []).append(i)
+        runs: Sequence[List[int]] = list(partitions.values())
+    else:
+        runs = [list(range(n))]
+    order_cols = [_column(k, frame) for k, _desc in over.order_keys]
+    arg_cols = [_column(o, frame) for o in over.operands]
+    range_offsets = None
+    if not over.rows:
+        # RANGE offsets are evaluated against the current row (they are
+        # almost always literals, but mirror the row engine regardless).
+        range_offsets = (
+            _column(over.lower.offset, frame)
+            if over.lower.offset is not None else None,
+            _column(over.upper.offset, frame)
+            if over.upper.offset is not None else None)
+    kind = over.op.kind
+    for indices in runs:
+        if over.order_keys:
+            # Stable sort: peers keep input order, like the row engine.
+            ordered = sorted(indices, key=lambda i: window_order_key(
+                tuple(c[i] for c in order_cols), over.order_keys))
+        else:
+            ordered = indices
+        if kind in RANKING_KINDS:
+            _ranking_kernel(kind, ordered, order_cols, results)
+        elif kind in (SqlKind.LAG, SqlKind.LEAD):
+            _lag_lead_kernel(kind, ordered, arg_cols, results)
+        else:
+            _agg_kernel(over, ordered, arg_cols, order_cols, range_offsets,
+                        results, eval_ctx)
+    return results
+
+
+def _ranking_kernel(kind: SqlKind, ordered: List[int],
+                    order_cols: List[list], results: List[Any]) -> None:
+    rank = dense = 0
+    prev: Optional[tuple] = None
+    for pos, row_idx in enumerate(ordered):
+        vals = tuple(c[row_idx] for c in order_cols)
+        if prev is None or vals != prev:
+            rank = pos + 1
+            dense += 1
+            prev = vals
+        if kind is SqlKind.ROW_NUMBER:
+            results[row_idx] = pos + 1
+        elif kind is SqlKind.RANK:
+            results[row_idx] = rank
+        else:  # DENSE_RANK
+            results[row_idx] = dense
+
+
+def _lag_lead_kernel(kind: SqlKind, ordered: List[int],
+                     arg_cols: List[list], results: List[Any]) -> None:
+    n = len(ordered)
+    step = -1 if kind is SqlKind.LAG else 1
+    value_col = arg_cols[0]
+    for pos, row_idx in enumerate(ordered):
+        offset = 1
+        if len(arg_cols) > 1:
+            off = arg_cols[1][row_idx]
+            offset = 1 if off is None else int(off)
+        target = pos + step * offset
+        if 0 <= target < n:
+            results[row_idx] = value_col[ordered[target]]
+        elif len(arg_cols) > 2:
+            results[row_idx] = arg_cols[2][row_idx]
+        # else: stays None (no default outside the partition)
+
+
+def _agg_kernel(over: RexOver, ordered: List[int], arg_cols: List[list],
+                order_cols: List[list], range_offsets, results: List[Any],
+                eval_ctx: EvalContext) -> None:
+    kind = over.op.kind
+    arg_col = arg_cols[0] if arg_cols else None  # None: COUNT(*)
+    if (over.rows
+            and over.lower.bound_kind == "UNBOUNDED_PRECEDING"
+            and over.upper.bound_kind == "CURRENT_ROW"):
+        _running_kernel(kind, ordered, arg_col, results)
+        return
+    n = len(ordered)
+    for pos, row_idx in enumerate(ordered):
+        if over.rows:
+            lo = max(_bound_pos(over.lower, pos, n, eval_ctx), 0)
+            hi = min(_bound_pos(over.upper, pos, n, eval_ctx), n - 1)
+            frame_idx = ordered[lo: hi + 1] if lo <= hi else []
+        else:
+            frame_idx = _range_frame(over, ordered, pos, order_cols,
+                                     range_offsets)
+        if arg_col is None:
+            values: List[Any] = [1] * len(frame_idx)
+        else:
+            values = [arg_col[i] for i in frame_idx
+                      if arg_col[i] is not None]
+        results[row_idx] = _finish_agg(kind, values)
+
+
+def _running_kernel(kind: SqlKind, ordered: List[int],
+                    arg_col: Optional[list], results: List[Any]) -> None:
+    """``ROWS UNBOUNDED PRECEDING .. CURRENT ROW``: accumulate in
+    partition order instead of recomputing each growing frame —
+    identical accumulation order, so floats agree with the row engine."""
+    count = 0
+    total: Any = None
+    best: Any = None
+    for row_idx in ordered:
+        v = 1 if arg_col is None else arg_col[row_idx]
+        if v is not None:
+            count += 1
+            total = v if total is None else total + v
+            if best is None:
+                best = v
+            elif kind is SqlKind.MIN:
+                best = min(best, v)
+            elif kind is SqlKind.MAX:
+                best = max(best, v)
+        if kind is SqlKind.COUNT:
+            results[row_idx] = count
+        elif kind is SqlKind.SUM:
+            results[row_idx] = total
+        elif kind is SqlKind.SUM0:
+            results[row_idx] = total if total is not None else 0
+        elif kind is SqlKind.AVG:
+            results[row_idx] = None if count == 0 else total / count
+        else:  # MIN / MAX
+            results[row_idx] = best
+
+
+def _finish_agg(kind: SqlKind, values: List[Any]) -> Any:
+    if kind is SqlKind.COUNT:
+        return len(values)
+    if kind in (SqlKind.SUM, SqlKind.SUM0):
+        if not values:
+            return 0 if kind is SqlKind.SUM0 else None
+        total = values[0]
+        for v in values[1:]:
+            total += v
+        return total
+    if kind is SqlKind.AVG:
+        return sum(values) / len(values) if values else None
+    if kind is SqlKind.MIN:
+        return min(values) if values else None
+    return max(values) if values else None  # MAX
+
+
+def _bound_pos(bound: Any, pos: int, n: int, eval_ctx: EvalContext) -> int:
+    kind = bound.bound_kind
+    if kind == "UNBOUNDED_PRECEDING":
+        return 0
+    if kind == "UNBOUNDED_FOLLOWING":
+        return n - 1
+    if kind == "CURRENT_ROW":
+        return pos
+    offset = (evaluate(bound.offset, (), eval_ctx)
+              if bound.offset is not None else 0)
+    return pos - int(offset) if kind == "PRECEDING" else pos + int(offset)
+
+
+def _range_frame(over: RexOver, ordered: List[int], pos: int,
+                 order_cols: List[list], range_offsets) -> List[int]:
+    """RANGE frame over the first order key, mirroring the row engine
+    (rows whose key is NULL never join a bounded RANGE frame)."""
+    if not order_cols:
+        return list(ordered)
+    key_col = order_cols[0]
+    row_idx = ordered[pos]
+    current = key_col[row_idx]
+    lo_off_col, hi_off_col = range_offsets
+    lo_val: Any = None
+    hi_val: Any = current
+    if over.lower.bound_kind == "PRECEDING" and lo_off_col is not None:
+        lo_val = current - lo_off_col[row_idx]
+    elif over.lower.bound_kind == "CURRENT_ROW":
+        lo_val = current
+    if over.upper.bound_kind == "UNBOUNDED_FOLLOWING":
+        hi_val = None
+    elif over.upper.bound_kind == "FOLLOWING" and hi_off_col is not None:
+        hi_val = current + hi_off_col[row_idx]
+    out: List[int] = []
+    for i in ordered:
+        v = key_col[i]
+        if v is None:
+            continue
+        if lo_val is not None and v < lo_val:
+            continue
+        if hi_val is not None and v > hi_val:
+            continue
+        out.append(i)
+    return out

@@ -45,6 +45,7 @@ from .parser import parse
 _F = DEFAULT_TYPE_FACTORY
 
 _AGG_NAMES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "COLLECT"}
+_WINDOW_ONLY_NAMES = {"ROW_NUMBER", "RANK", "DENSE_RANK", "LAG", "LEAD"}
 _GROUP_WINDOW_NAMES = {"TUMBLE", "HOP", "SESSION"}
 _GROUP_WINDOW_AUX = {
     "TUMBLE_START": ("TUMBLE", "start"),
@@ -656,6 +657,9 @@ class SqlToRelConverter:
         if name in _AGG_NAMES:
             raise ValidationError(
                 f"aggregate {name} not allowed in this context")
+        if name in _WINDOW_ONLY_NAMES:
+            raise ValidationError(
+                f"window function {name} requires an OVER clause")
         if name == "EXISTS":
             sub = node.operands[0]
             assert isinstance(sub, sqlast.SqlSubQuery)

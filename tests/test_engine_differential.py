@@ -208,7 +208,88 @@ CASES = [
      "JOIN mysql.products p ON o.productId = p.productId "
      "WHERE o.units > 20",
      False),
+    # -- window functions (VectorizedWindow vs the row interpreter) ----
+    ("win_row_number", build_sales_catalog,
+     "SELECT saleId, productId, "
+     "ROW_NUMBER() OVER (PARTITION BY productId ORDER BY saleId) "
+     "FROM s.sales",
+     False),
+    ("win_rank_ties", build_sales_catalog,
+     # units repeats heavily within a product: RANK must gap on peers.
+     "SELECT saleId, units, "
+     "RANK() OVER (PARTITION BY productId ORDER BY units) "
+     "FROM s.sales",
+     False),
+    ("win_dense_rank_desc", build_sales_catalog,
+     "SELECT saleId, "
+     "DENSE_RANK() OVER (PARTITION BY productId ORDER BY units DESC) "
+     "FROM s.sales",
+     False),
+    ("win_null_ordering", build_sales_catalog,
+     # discount is NULL for ~a quarter of sales: NULLS LAST ascending.
+     "SELECT saleId, discount, "
+     "ROW_NUMBER() OVER (PARTITION BY productId ORDER BY discount, saleId) "
+     "FROM s.sales",
+     False),
+    ("win_lag_lead", build_sales_catalog,
+     "SELECT saleId, "
+     "LAG(units) OVER (PARTITION BY productId ORDER BY saleId), "
+     "LEAD(units, 2, 0) OVER (PARTITION BY productId ORDER BY saleId) "
+     "FROM s.sales",
+     False),
+    ("win_running_sum", build_sales_catalog,
+     # Default frame: ROWS UNBOUNDED PRECEDING .. CURRENT ROW.
+     "SELECT saleId, "
+     "SUM(units) OVER (PARTITION BY productId ORDER BY saleId) "
+     "FROM s.sales",
+     False),
+    ("win_sliding_avg", build_sales_catalog,
+     "SELECT saleId, AVG(discount) OVER (PARTITION BY productId "
+     "ORDER BY saleId ROWS BETWEEN 2 PRECEDING AND 2 FOLLOWING) "
+     "FROM s.sales",
+     False),
+    ("win_unbounded_min_max", build_sales_catalog,
+     "SELECT saleId, "
+     "MIN(units) OVER (PARTITION BY productId ORDER BY saleId "
+     "ROWS BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING), "
+     "MAX(units) OVER (PARTITION BY productId ORDER BY saleId "
+     "ROWS BETWEEN CURRENT ROW AND UNBOUNDED FOLLOWING) "
+     "FROM s.sales",
+     False),
+    ("win_global_no_partition", build_sales_catalog,
+     # No PARTITION BY: one global partition (gathers when parallel).
+     "SELECT saleId, ROW_NUMBER() OVER (ORDER BY saleId) FROM s.sales",
+     False),
+    ("win_empty_partitions", build_sales_catalog,
+     # The filter empties many product partitions entirely.
+     "SELECT saleId, productId, "
+     "COUNT(*) OVER (PARTITION BY productId ORDER BY saleId "
+     "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) "
+     "FROM s.sales WHERE units > 18",
+     False),
+    # -- partition-aware distinct set operations -----------------------
+    ("setop_union_distinct", build_sales_catalog,
+     "SELECT productId FROM s.sales WHERE units > 10 "
+     "UNION SELECT productId FROM s.products",
+     False),
+    ("setop_union_computed", build_sales_catalog,
+     # A computed column defeats scan elision: a real hash shuffle.
+     "SELECT productId * 2 FROM s.products "
+     "UNION SELECT productId FROM s.sales",
+     False),
+    ("setop_intersect_distinct", build_sales_catalog,
+     "SELECT productId FROM s.sales WHERE units > 10 "
+     "INTERSECT SELECT productId FROM s.sales WHERE discount IS NOT NULL",
+     False),
+    ("setop_except_distinct", build_sales_catalog,
+     "SELECT productId FROM s.products "
+     "EXCEPT SELECT productId FROM s.sales WHERE units > 15",
+     False),
 ]
+
+#: The window/set-op subset additionally runs on both worker backends.
+_WORKER_AXIS_CASES = [c for c in CASES
+                      if c[0].startswith(("win_", "setop_"))]
 
 
 _CATALOG_CACHE = {}
@@ -225,14 +306,15 @@ def _planners(builder):
     return _CATALOG_CACHE[builder]
 
 
-def _parallel_planner(builder, parallelism, partitioned_scans=True):
+def _parallel_planner(builder, parallelism, partitioned_scans=True,
+                      workers="thread"):
     """A parallel vectorized planner sharing the cached catalog."""
-    key = (builder, parallelism, partitioned_scans)
+    key = (builder, parallelism, partitioned_scans, workers)
     if key not in _PARALLEL_CACHE:
         catalog = _planners(builder)[0].catalog
         _PARALLEL_CACHE[key] = Planner(FrameworkConfig(
             catalog, engine="vectorized", parallelism=parallelism,
-            partitioned_scans=partitioned_scans))
+            partitioned_scans=partitioned_scans, workers=workers))
     return _PARALLEL_CACHE[key]
 
 
@@ -285,6 +367,60 @@ def test_parallel_agrees_with_serial_and_row(builder, sql, ordered,
         expected = sorted(row_result.rows, key=repr)
         assert sorted(par_result.rows, key=repr) == expected
         assert sorted(vec_result.rows, key=repr) == expected
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("workers", ["thread", "process"])
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+@pytest.mark.parametrize(
+    "builder,sql,ordered",
+    [pytest.param(b, sql, ordered, id=case_id)
+     for case_id, b, sql, ordered in _WORKER_AXIS_CASES])
+def test_window_and_setop_worker_backends_agree(builder, sql, ordered,
+                                                parallelism, workers):
+    """Windows and distinct set operations must be exact on both worker
+    backends: thread partitions share batches in-process, process
+    partitions cross the columnar wire format."""
+    row_planner, _vec = _planners(builder)
+    par_planner = _parallel_planner(builder, parallelism, workers=workers)
+    row_result = row_planner.execute(sql)
+    par_result = par_planner.execute(sql)
+    assert row_result.columns == par_result.columns
+    assert sorted(par_result.rows, key=repr) == \
+        sorted(row_result.rows, key=repr)
+
+
+@pytest.mark.parallel
+def test_window_plans_run_shard_local_on_copartitioned_input():
+    """A window over a partitionable scan must elide the shuffle: the
+    PARTITION BY keys are served co-partitioned by the backend, and no
+    rows cross an exchange edge."""
+    par = _parallel_planner(build_sales_catalog, 2)
+    sql = ("SELECT saleId, SUM(units) OVER "
+           "(PARTITION BY productId ORDER BY saleId) FROM s.sales")
+    plan = par.optimize(par.rel(sql))
+    text = plan.explain()
+    assert "VectorizedWindow" in text
+    assert "PartitionedScan" in text
+    assert "HashExchange" not in text
+    result = par.execute(sql)
+    assert result.context.rows_shuffled == 0
+
+
+@pytest.mark.parallel
+def test_distinct_setop_plans_hash_exchange_not_gather():
+    """Distinct UNION with a computed input column cannot elide: it
+    must hash-exchange on the full row and dedup per worker, never
+    gather the inputs to a single stream below the union."""
+    par = _parallel_planner(build_sales_catalog, 2)
+    plan = par.optimize(par.rel(
+        "SELECT productId * 2 FROM s.products "
+        "UNION SELECT productId FROM s.sales"))
+    text = plan.explain()
+    assert "HashExchange" in text
+    union_pos = text.index("VectorizedUnion")
+    # The only gather is the root one, above the union.
+    assert "SingletonExchange" not in text[union_pos:]
 
 
 @pytest.mark.parallel

@@ -106,6 +106,21 @@ GOLDEN_QUERIES = [
      "SELECT AVG(sal), COUNT(*) FROM hr.emps"),
     ("filter_project_parallel", "vectorized-p4",
      "SELECT name, sal + 100 FROM hr.emps WHERE deptno = 10"),
+    # Window over a partitionable scan: PARTITION BY is served
+    # co-partitioned by the backend — shard-local evaluation, no
+    # exchange except the root gather (and zero rows shuffled, see
+    # test_copartitioned_window_shuffles_nothing).
+    ("window_copartitioned_parallel", "vectorized-p4",
+     "SELECT empid, deptno, "
+     "SUM(sal) OVER (PARTITION BY deptno ORDER BY empid) FROM hr.emps"),
+    ("window_vectorized", "vectorized",
+     "SELECT empid, deptno, "
+     "RANK() OVER (PARTITION BY deptno ORDER BY sal DESC) FROM hr.emps"),
+    # Distinct UNION with a computed input column: no elision possible
+    # on that input, so it hash-exchanges on the full row and dedups
+    # per worker instead of gathering below the union.
+    ("union_distinct_exchange_parallel", "vectorized-p4",
+     "SELECT deptno * 2 FROM hr.emps UNION SELECT deptno FROM hr.depts"),
 ]
 
 
@@ -138,3 +153,17 @@ def test_optimized_plan_matches_golden(name, engine, sql):
     assert plan_text == golden_path.read_text(), (
         f"optimized plan for {name!r} changed; if intentional, regenerate "
         f"with GOLDEN_REGEN=1")
+
+
+def test_copartitioned_window_shuffles_nothing():
+    """The co-partitioned window golden plan must not just *look*
+    shuffle-free — executing it must move zero rows across exchange
+    edges (the shards are served directly by the backend)."""
+    planner = _planner("vectorized-p4")
+    sql = ("SELECT empid, deptno, "
+           "SUM(sal) OVER (PARTITION BY deptno ORDER BY empid) FROM hr.emps")
+    text = planner.optimize(planner.rel(sql)).explain()
+    assert "VectorizedWindow" in text
+    assert "HashExchange" not in text
+    result = planner.execute(sql)
+    assert result.context.rows_shuffled == 0

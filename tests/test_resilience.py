@@ -279,6 +279,35 @@ class TestShardResilience:
         assert chaos.partition_scans_started == parallelism + 1
         assert chaos.scans_started == 0  # pushdown actually happened
 
+    @pytest.mark.parametrize("parallelism", [2, 4])
+    def test_windowed_query_survives_transient_shard_failure(self, parallelism):
+        """A shard-local window over a chaos-partitioned scan: the
+        failed shard's retry replays with the already-emitted rows
+        skipped, so the window's gathered partition input must contain
+        each row exactly once — a duplicated or dropped row would shift
+        every running-sum frame and LAG offset after it."""
+        sql = ("SELECT id, "
+               "SUM(v) OVER (PARTITION BY k ORDER BY id), "
+               "LAG(v) OVER (PARTITION BY k ORDER BY id), "
+               "ROW_NUMBER() OVER (PARTITION BY k ORDER BY id) "
+               "FROM s.t")
+        clean_catalog, _ = make_catalog()
+        expected = sorted(planner_for(clean_catalog).execute(sql).rows)
+        catalog, chaos = make_catalog(
+            fail_after_rows=5, fail_times=1, only_partition=1)
+        planner = planner_for(catalog, engine="vectorized",
+                              parallelism=parallelism)
+        plan = planner.optimize(planner.rel(sql))
+        assert "VectorizedWindow" in plan.explain()
+        assert "HashExchange" not in plan.explain()
+        result = planner.execute(sql)
+        assert sorted(result.rows) == expected
+        assert result.context.retries == 1
+        # Only the failed shard re-ran; the window saw no shuffle.
+        assert chaos.partition_scans_started == parallelism + 1
+        assert chaos.scans_started == 0
+        assert result.context.rows_shuffled == 0
+
     def test_open_partition_breaker_degrades_to_gather_then_shard(self):
         catalog, chaos = make_catalog(
             fail_after_rows=0, fail_times=-1, only_partition=0)

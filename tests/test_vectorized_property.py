@@ -241,6 +241,174 @@ class TestShortCircuitParity:
             vec.execute(sql)
 
 
+class TestWindowAgainstNaiveOracle:
+    """Random partition/order keys and ROWS frames: both engines must
+    equal a naive per-row oracle written from the SQL definitions
+    (rank = 1 + rows strictly before; frame = a slice of the ordered
+    partition), not from either engine's implementation."""
+
+    FRAMES = [
+        None,  # parser default: ROWS UNBOUNDED PRECEDING .. CURRENT ROW
+        ("UNBOUNDED PRECEDING", "CURRENT ROW"),
+        ("2 PRECEDING", "CURRENT ROW"),
+        ("1 PRECEDING", "3 FOLLOWING"),
+        ("CURRENT ROW", "UNBOUNDED FOLLOWING"),
+        ("UNBOUNDED PRECEDING", "UNBOUNDED FOLLOWING"),
+    ]
+
+    window_rows = st.lists(
+        st.tuples(st.integers(0, 3),                            # k
+                  st.one_of(st.none(), st.integers(0, 5)),      # o
+                  st.one_of(st.none(), st.integers(-9, 9))),    # v
+        min_size=0, max_size=30)
+
+    @staticmethod
+    def _engines(rows):
+        from repro import Catalog, MemoryTable, Schema
+        from repro.framework import planner_for
+        catalog = Catalog()
+        d = Schema("d")
+        catalog.add_schema(d)
+        d.add_table(MemoryTable(
+            "t", ["id", "k", "o", "v"],
+            [F.integer(False), F.integer(False), F.integer(), F.integer()],
+            [(i,) + r for i, r in enumerate(rows)]))
+        return planner_for(catalog), planner_for(catalog, engine="vectorized")
+
+    @staticmethod
+    def _bound(spec, pos, m):
+        if spec == "UNBOUNDED PRECEDING":
+            return 0
+        if spec == "UNBOUNDED FOLLOWING":
+            return m - 1
+        if spec == "CURRENT ROW":
+            return pos
+        count, kind = spec.split(" ", 1)
+        return pos - int(count) if kind == "PRECEDING" else pos + int(count)
+
+    @staticmethod
+    def _order_key(o, desc):
+        # NULLS LAST ascending / NULLS FIRST descending (SQL default);
+        # sorted(..., reverse=True) is stable, preserving input order
+        # among peers exactly like the engines.
+        return (o is None, 0 if o is None else o)
+
+    def _oracle(self, rows, func, partition, desc, frame):
+        n = len(rows)
+        out = [None] * n
+        groups = {}
+        for i, (k, _o, _v) in enumerate(rows):
+            groups.setdefault(k if partition else 0, []).append(i)
+        lo_s, hi_s = frame or ("UNBOUNDED PRECEDING", "CURRENT ROW")
+        for idx in groups.values():
+            ordered = sorted(idx, key=lambda i: self._order_key(rows[i][1], desc),
+                             reverse=desc)
+            m = len(ordered)
+            keys = [self._order_key(rows[i][1], desc) for i in ordered]
+            for pos, i in enumerate(ordered):
+                if func == "ROW_NUMBER()":
+                    out[i] = pos + 1
+                elif func == "RANK()":
+                    out[i] = 1 + sum(1 for p in range(m) if keys[p] != keys[pos]
+                                     and p < pos)
+                elif func == "DENSE_RANK()":
+                    out[i] = 1 + len({tuple(keys[p]) for p in range(pos)
+                                      if keys[p] != keys[pos]})
+                elif func == "LAG(v)":
+                    out[i] = rows[ordered[pos - 1]][2] if pos >= 1 else None
+                elif func == "LEAD(v, 2, -1)":
+                    out[i] = (rows[ordered[pos + 2]][2]
+                              if pos + 2 < m else -1)
+                else:
+                    lo = max(self._bound(lo_s, pos, m), 0)
+                    hi = min(self._bound(hi_s, pos, m), m - 1)
+                    frame_idx = ordered[lo: hi + 1] if lo <= hi else []
+                    window = [rows[j][2] for j in frame_idx
+                              if rows[j][2] is not None]
+                    if func == "COUNT(v)":
+                        out[i] = len(window)
+                    elif func == "SUM(v)":
+                        out[i] = sum(window) if window else None
+                    elif func == "MIN(v)":
+                        out[i] = min(window) if window else None
+                    elif func == "MAX(v)":
+                        out[i] = max(window) if window else None
+                    else:  # AVG(v)
+                        out[i] = (sum(window) / len(window)
+                                  if window else None)
+        return out
+
+    @given(rows=window_rows,
+           func=st.sampled_from(["ROW_NUMBER()", "RANK()", "DENSE_RANK()",
+                                 "LAG(v)", "LEAD(v, 2, -1)", "SUM(v)",
+                                 "COUNT(v)", "MIN(v)", "MAX(v)", "AVG(v)"]),
+           partition=st.booleans(), desc=st.booleans(),
+           frame=st.sampled_from(FRAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_window_matches_oracle(self, rows, func, partition, desc, frame):
+        if func in ("ROW_NUMBER()", "RANK()", "DENSE_RANK()",
+                    "LAG(v)", "LEAD(v, 2, -1)"):
+            frame = None  # frame-free functions; keep the SQL minimal
+        # Ties among peers are broken by input order in the engines
+        # (stable sorts) and in the oracle alike; RANK/DENSE_RANK must
+        # NOT get a unique tiebreak or no peers would ever exist.
+        order = "ORDER BY o DESC" if desc else "ORDER BY o"
+        spec = ["PARTITION BY k"] if partition else []
+        spec.append(order)
+        if frame is not None:
+            spec.append(f"ROWS BETWEEN {frame[0]} AND {frame[1]}")
+        sql = f"SELECT id, {func} OVER ({' '.join(spec)}) FROM d.t"
+        row_p, vec_p = self._engines(rows)
+        expected = self._oracle(rows, func, partition, desc, frame)
+        got_row = dict(row_p.execute(sql).rows)
+        got_vec = dict(vec_p.execute(sql).rows)
+        oracle = {i: expected[i] for i in range(len(rows))}
+        assert got_vec == got_row
+        assert got_vec == oracle, sql
+
+
+class TestDistinctSetOpsAreSetSemantics:
+    """Distinct UNION/INTERSECT/EXCEPT must equal Python set algebra —
+    no duplicates, no dropped rows — at every parallelism, where the
+    parallel plans hash-exchange on the full row and dedup per worker."""
+
+    pair_rows = st.lists(
+        st.tuples(st.integers(0, 4), st.one_of(st.none(), st.integers(0, 3))),
+        min_size=0, max_size=25)
+
+    @staticmethod
+    def _planners(left, right):
+        from repro import Catalog, MemoryTable, Schema
+        from repro.framework import FrameworkConfig, Planner
+        catalog = Catalog()
+        d = Schema("d")
+        catalog.add_schema(d)
+        types = [F.integer(False), F.integer()]
+        d.add_table(MemoryTable("l", ["a", "b"], types, left))
+        d.add_table(MemoryTable("r", ["a", "b"], types, right))
+        return [Planner(FrameworkConfig(catalog)),
+                Planner(FrameworkConfig(catalog, engine="vectorized")),
+                Planner(FrameworkConfig(catalog, engine="vectorized",
+                                        parallelism=2)),
+                Planner(FrameworkConfig(catalog, engine="vectorized",
+                                        parallelism=4))]
+
+    @given(left=pair_rows, right=pair_rows,
+           op=st.sampled_from(["UNION", "INTERSECT", "EXCEPT"]))
+    @settings(max_examples=40, deadline=None)
+    def test_set_ops_match_python_sets(self, left, right, op):
+        expected = {
+            "UNION": set(left) | set(right),
+            "INTERSECT": set(left) & set(right),
+            "EXCEPT": set(left) - set(right),
+        }[op]
+        sql = f"SELECT a, b FROM d.l {op} SELECT a, b FROM d.r"
+        for planner in self._planners(left, right):
+            rows = planner.execute(sql).rows
+            assert len(rows) == len(set(rows)), "duplicates survived dedup"
+            assert set(rows) == expected, sql
+
+
 class TestSelectionVectorSemantics:
     def test_compact_applies_selection_once(self):
         batch = ColumnBatch([[1, 2, 3, 4], ["a", "b", "c", "d"]], 4)
